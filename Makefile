@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench verify experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... .
+
+# One benchmark per paper table/figure (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Randomized cross-validation of every algorithm and extension.
+verify:
+	$(GO) run ./cmd/lotus-verify -rounds 50
+
+# Regenerate every table and figure (writes nothing; see EXPERIMENTS.md
+# for an archived run).
+experiments:
+	$(GO) run ./cmd/lotus-bench -all -scale 15 -edgefactor 16
+
+# Short fuzzing pass over the parsers.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/graph
+	$(GO) test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=10s ./internal/graph
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/compress
+
+clean:
+	$(GO) clean ./...

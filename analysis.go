@@ -1,0 +1,184 @@
+package lotustc
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"lotustc/internal/approx"
+	"lotustc/internal/core"
+	"lotustc/internal/kclique"
+	"lotustc/internal/reorder"
+	"lotustc/internal/sched"
+	"lotustc/internal/stats"
+)
+
+// PerVertexTriangles returns, for every vertex, the number of
+// triangles it participates in — the building block of local
+// clustering analysis. Workers 0 uses GOMAXPROCS.
+func PerVertexTriangles(g *Graph, workers int) []uint64 {
+	pool := sched.NewPool(workers)
+	ra := reorder.DegreeOrder(g)
+	og := g.Relabel(ra).Orient()
+	n := og.NumVertices()
+	counts := make([]uint64, n)
+	pool.For(n, 0, func(_, start, end int) {
+		for v := start; v < end; v++ {
+			nv := og.Neighbors(uint32(v))
+			for _, u := range nv {
+				nu := og.Neighbors(u)
+				i, j := 0, 0
+				for i < len(nv) && j < len(nu) {
+					switch {
+					case nv[i] < nu[j]:
+						i++
+					case nv[i] > nu[j]:
+						j++
+					default:
+						// Triangle (v, u, nv[i]): corners may be
+						// claimed by other workers concurrently.
+						atomic.AddUint64(&counts[v], 1)
+						atomic.AddUint64(&counts[u], 1)
+						atomic.AddUint64(&counts[nv[i]], 1)
+						i++
+						j++
+					}
+				}
+			}
+		}
+	})
+	// Map back to original IDs.
+	out := make([]uint64, n)
+	for old := 0; old < n; old++ {
+		out[old] = counts[ra[old]]
+	}
+	return out
+}
+
+// LocalClusteringCoefficients returns lcc(v) = 2T(v)/(d(v)(d(v)-1))
+// for every vertex (0 for degree < 2).
+func LocalClusteringCoefficients(g *Graph, workers int) []float64 {
+	tri := PerVertexTriangles(g, workers)
+	out := make([]float64, len(tri))
+	for v := range tri {
+		d := g.Degree(uint32(v))
+		if d >= 2 {
+			out[v] = 2 * float64(tri[v]) / (float64(d) * float64(d-1))
+		}
+	}
+	return out
+}
+
+// GlobalClusteringCoefficient returns 3*triangles / wedges — the
+// transitivity of the graph.
+func GlobalClusteringCoefficient(g *Graph, workers int) float64 {
+	res, err := Count(g, Options{Algorithm: AlgoLotus, Workers: workers})
+	if err != nil {
+		return 0
+	}
+	var wedges uint64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := uint64(g.Degree(uint32(v)))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(res.Triangles) / float64(wedges)
+}
+
+// TopDegreeVertices returns the k highest-degree vertex IDs of g
+// (ties broken by ID) — the hub set for StreamingCounter.
+func TopDegreeVertices(g *Graph, k int) []uint32 {
+	n := g.NumVertices()
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	if k > n {
+		k = n
+	}
+	return ids[:k]
+}
+
+// StreamingCounter counts hub triangles over an edge stream with a
+// memory-resident H2H structure, the paper's §6.2 extension.
+type StreamingCounter = core.Streaming
+
+// NewStreamingCounter creates a streaming counter over n vertices
+// with the given hub IDs (see TopDegreeVertices).
+func NewStreamingCounter(n int, hubIDs []uint32) *StreamingCounter {
+	return core.NewStreaming(n, hubIDs)
+}
+
+// CountKCliques counts k-cliques (k >= 1; k == 3 is triangle
+// counting), the paper's §7 future-work extension. With AlgoLotus
+// (or empty) the hub-aware counter is used: all-hub cliques are
+// enumerated on dense bitsets and mixed cliques on the split HE/NHE
+// lists; any other algorithm selects the generic ordered enumeration.
+func CountKCliques(g *Graph, k int, opt Options) (uint64, error) {
+	pool := sched.NewPool(opt.Workers)
+	switch opt.Algorithm {
+	case "", AlgoLotus:
+		lg := core.Preprocess(g, core.Options{
+			HubCount: opt.HubCount, FrontFraction: opt.FrontFraction, Pool: pool,
+		})
+		return kclique.CountLotus(lg, k, pool), nil
+	default:
+		return kclique.Count(g.Orient(), k, pool), nil
+	}
+}
+
+// EstimateTriangles approximates the triangle count. Method selects
+// the estimator:
+//
+//   - "doulion": keep each edge with probability p, scale by p^-3.
+//   - "wedge": sample `samples` random wedges (p ignored).
+//   - "hybrid": the paper's §6.2 hybrid — LOTUS-exact hub triangles
+//     plus Doulion-sampled NNN; far tighter than doulion at equal p
+//     on skewed graphs because only the small NNN share is sampled.
+func EstimateTriangles(g *Graph, method string, p float64, samples int, seed int64) (float64, error) {
+	pool := sched.NewPool(0)
+	switch method {
+	case "doulion":
+		return approx.Doulion(g, p, seed, pool), nil
+	case "wedge":
+		return approx.WedgeSampling(g, samples, seed), nil
+	case "hybrid":
+		h := approx.Hybrid(g, p, seed, core.Options{Pool: pool}, pool)
+		return h.Estimate, nil
+	default:
+		return 0, fmt.Errorf("lotustc: unknown estimator %q", method)
+	}
+}
+
+// GraphStats bundles the paper's topology statistics for one graph.
+type GraphStats struct {
+	Vertices  int
+	Edges     int64
+	MaxDegree int
+	Gini      float64
+	// Assortativity is Newman's degree-degree correlation r.
+	Assortativity float64
+	Table1        stats.Table1
+}
+
+// Stats computes Table 1-style characteristics of g with the paper's
+// 1% hub fraction.
+func Stats(g *Graph) GraphStats {
+	return GraphStats{
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		MaxDegree:     g.MaxDegree(),
+		Gini:          g.GiniOfDegrees(),
+		Assortativity: stats.DegreeAssortativity(g),
+		Table1:        stats.ComputeTable1(g, 0.01),
+	}
+}

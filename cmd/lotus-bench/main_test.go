@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"table1", "table5", "fig9", "ext-kclique"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("listing missing %s", id)
+		}
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig8", "-scale", "8", "-edgefactor", "6"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Fig 8") {
+		t.Fatalf("unexpected output: %q", stdout.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatal("no args should exit 2")
+	}
+	if code := run([]string{"-exp", "ghost"}, &stdout, &stderr); code != 2 {
+		t.Fatal("unknown experiment should exit 2")
+	}
+	if code := run([]string{"-wat"}, &stdout, &stderr); code != 2 {
+		t.Fatal("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lotustc/internal/graph"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	kinds := map[string][]string{
+		"rmat":           {"-kind", "rmat", "-scale", "8", "-edgefactor", "4"},
+		"chunglu":        {"-kind", "chunglu", "-n", "200", "-m", "800"},
+		"chunglu-capped": {"-kind", "chunglu-capped", "-n", "200", "-m", "800", "-cap", "0.05"},
+		"er":             {"-kind", "er", "-n", "200", "-m", "500"},
+		"complete":       {"-kind", "complete", "-n", "12"},
+		"star":           {"-kind", "star", "-n", "20"},
+		"hubspokes":      {"-kind", "hubspokes", "-hubs", "4", "-leaves", "30", "-attach", "2"},
+	}
+	for kind, args := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			out := filepath.Join(dir, kind+".lotg")
+			var stdout, stderr bytes.Buffer
+			code := run(append(args, "-o", out), &stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("exit %d: %s", code, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "wrote") {
+				t.Fatalf("no confirmation: %q", stdout.String())
+			}
+			g, err := graph.LoadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-kind", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bogus kind exit %d", code)
+	}
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exit %d", code)
+	}
+	if code := run([]string{"-kind", "complete", "-n", "4", "-o", "/nonexistent-dir/x.lotg"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unwritable path exit %d", code)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEvents(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rmat", "9", "-edgefactor", "6"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"LLC misses", "DTLB misses", "branch misses", "est. cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q", want)
+		}
+	}
+}
+
+func TestMRCMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rmat", "9", "-edgefactor", "6", "-mrc"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "forward") || !strings.Contains(out, "lotus") {
+		t.Fatalf("missing curves: %q", out)
+	}
+}
+
+func TestMachineModels(t *testing.T) {
+	for _, m := range []string{"skylakex", "haswell", "epyc", "scaled"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-rmat", "8", "-machine", m}, &stdout, &stderr); code != 0 {
+			t.Fatalf("%s: exit %d", m, code)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatal("no input should exit 2")
+	}
+	if code := run([]string{"-rmat", "8", "-machine", "vax"}, &stdout, &stderr); code != 2 {
+		t.Fatal("unknown machine should exit 2")
+	}
+	if code := run([]string{"-graph", "/missing"}, &stdout, &stderr); code != 1 {
+		t.Fatal("missing file should exit 1")
+	}
+	if code := run([]string{"-zap"}, &stdout, &stderr); code != 2 {
+		t.Fatal("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lotustc"
+)
+
+func runTC(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCountRMATAllAlgorithms(t *testing.T) {
+	var want string
+	for _, algo := range lotustc.Algorithms() {
+		code, out, errOut := runTC(t, "-rmat", "8", "-edgefactor", "6", "-algo", string(algo))
+		if code != 0 {
+			t.Fatalf("%s: exit %d: %s", algo, code, errOut)
+		}
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "triangles:") {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("%s: no triangle line in %q", algo, out)
+		}
+		if want == "" {
+			want = line
+		} else if line != want {
+			t.Fatalf("%s reports %q, others %q", algo, line, want)
+		}
+	}
+}
+
+func TestVerboseBreakdown(t *testing.T) {
+	code, out, _ := runTC(t, "-rmat", "8", "-v")
+	if code != 0 {
+		t.Fatal("verbose run failed")
+	}
+	if !strings.Contains(out, "breakdown:") || !strings.Contains(out, "classes:") {
+		t.Fatalf("missing verbose sections: %q", out)
+	}
+}
+
+func TestLoadFromFileAndEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	g := lotustc.Complete(6) // 20 triangles
+	lotg := filepath.Join(dir, "k6.lotg")
+	if err := lotustc.SaveGraph(g, lotg); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runTC(t, "-graph", lotg)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "triangles: 20") {
+		t.Fatalf("K6 output: %q", out)
+	}
+
+	el := filepath.Join(dir, "tri.txt")
+	if err := os.WriteFile(el, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runTC(t, "-edgelist", el)
+	if code != 0 || !strings.Contains(out, "triangles: 1") {
+		t.Fatalf("edge list run: code %d out %q", code, out)
+	}
+}
+
+func TestKCliqueFlag(t *testing.T) {
+	dir := t.TempDir()
+	lotg := filepath.Join(dir, "k6.lotg")
+	if err := lotustc.SaveGraph(lotustc.Complete(6), lotg); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runTC(t, "-graph", lotg, "-k", "4")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "4-cliques: 15") {
+		t.Fatalf("K6 4-cliques output: %q", out)
+	}
+	// Generic path too.
+	code, out, _ = runTC(t, "-graph", lotg, "-k", "5", "-algo", "forward")
+	if code != 0 || !strings.Contains(out, "5-cliques: 6") {
+		t.Fatalf("generic k=5: code %d out %q", code, out)
+	}
+}
+
+func TestAlgosListing(t *testing.T) {
+	code, out, _ := runTC(t, "-algos")
+	if code != 0 {
+		t.Fatal("algos listing failed")
+	}
+	for _, a := range lotustc.Algorithms() {
+		if !strings.Contains(out, string(a)) {
+			t.Fatalf("missing %s in listing", a)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, _ := runTC(t); code != 2 {
+		t.Fatal("no input should exit 2")
+	}
+	if code, _, _ := runTC(t, "-graph", "/does/not/exist"); code != 1 {
+		t.Fatal("missing file should exit 1")
+	}
+	if code, _, _ := runTC(t, "-rmat", "6", "-algo", "bogus"); code != 1 {
+		t.Fatal("bad algorithm should exit 1")
+	}
+	if code, _, _ := runTC(t, "-badflag"); code != 2 {
+		t.Fatal("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVerifyPasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rounds", "5", "-maxn", "40", "-kmax", "4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "0 failures") {
+		t.Fatalf("unexpected summary: %q", out)
+	}
+}
+
+func TestVerifyBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestVerifyDifferentSeeds(t *testing.T) {
+	for _, seed := range []string{"2", "99"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-rounds", "3", "-maxn", "30", "-seed", seed}, &stdout, &stderr); code != 0 {
+			t.Fatalf("seed %s: exit %d\n%s", seed, code, stderr.String())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package lotustc
+
+import "lotustc/internal/gen"
+
+// RMAT generates a Graph500-style R-MAT graph with 2^scale vertices
+// and ~edgeFactor*2^scale sampled edges — the repository's
+// social-network analog (skewed degree distribution).
+func RMAT(scale uint, edgeFactor int, seed int64) *Graph {
+	return gen.RMAT(gen.DefaultRMAT(scale, edgeFactor, seed))
+}
+
+// ChungLu generates a Chung-Lu power-law graph with exponent gamma
+// (2 < gamma < 3 matches most real-world graphs; smaller is more
+// skewed) — the web-graph analog.
+func ChungLu(n, m int, gamma float64, seed int64) *Graph {
+	return gen.ChungLu(gen.ChungLuParams{N: n, M: m, Gamma: gamma, Seed: seed})
+}
+
+// ChungLuCapped generates a Chung-Lu graph whose maximum expected
+// degree is truncated, flattening the distribution — the paper's
+// §5.5 "less power-law" Friendster regime.
+func ChungLuCapped(n, m int, gamma, cap float64, seed int64) *Graph {
+	return gen.ChungLu(gen.ChungLuParams{N: n, M: m, Gamma: gamma, MaxDegreeCap: cap, Seed: seed})
+}
+
+// ErdosRenyi generates a uniform random graph: the non-power-law
+// baseline on which LOTUS's hub machinery has nothing to exploit.
+func ErdosRenyi(n, m int, seed int64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// BarabasiAlbert grows a preferential-attachment scale-free graph
+// (each new vertex attaches to m existing vertices proportionally to
+// degree) — organically emerging hubs, gamma ≈ 3.
+func BarabasiAlbert(n, m int, seed int64) *Graph { return gen.BarabasiAlbert(n, m, seed) }
+
+// Complete returns the complete graph K_n (C(n,3) triangles).
+func Complete(n int) *Graph { return gen.Complete(n) }
+
+// Star returns an n-vertex star (no triangles, one extreme hub).
+func Star(n int) *Graph { return gen.Star(n) }
+
+// Ring returns the n-cycle.
+func Ring(n int) *Graph { return gen.Ring(n) }
+
+// Grid returns the rows x cols lattice (no triangles, high spatial
+// locality).
+func Grid(rows, cols int) *Graph { return gen.Grid(rows, cols) }
+
+// HubAndSpokes builds nHubs mutually-connected hubs plus nLeaves
+// non-hubs attached to `attach` hubs each — the paper's motivating
+// structure in its purest form.
+func HubAndSpokes(nHubs, nLeaves, attach int, seed int64) *Graph {
+	return gen.HubAndSpokes(nHubs, nLeaves, attach, seed)
+}
+
+// PlantedTriangles builds t disjoint triangles plus padding isolated
+// vertices: exactly t triangles.
+func PlantedTriangles(t, padding int) *Graph { return gen.PlantedTriangles(t, padding) }
+
+// SBM samples a stochastic block model graph: k communities over n
+// vertices with in-community edge probability pIn and cross-community
+// probability pOut — the community structure that drives real-world
+// triangle density.
+func SBM(n, k int, pIn, pOut float64, seed int64) *Graph {
+	return gen.SBM(gen.SBMParams{N: n, K: k, PIn: pIn, POut: pOut, Seed: seed})
+}

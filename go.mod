@@ -1,0 +1,3 @@
+module lotustc
+
+go 1.24

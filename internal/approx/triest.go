@@ -1,0 +1,129 @@
+package approx
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Triest is a fixed-memory streaming triangle estimator in the style
+// of TRIÈST-BASE (De Stefani et al.): a uniform reservoir of at most
+// M edges is maintained over the stream, each arriving edge counts
+// the triangles it closes inside the reservoir, and the increments
+// are scaled by the inverse probability that the closing wedge
+// survived in the reservoir.
+//
+// It complements the §6.2 LOTUS streaming counter: LOTUS keeps exact
+// hub structures in memory; Triest bounds memory regardless of
+// structure at the cost of variance. The two can be combined the same
+// way Hybrid combines exact hub counting with sampling.
+type Triest struct {
+	m   int
+	t   uint64
+	rng *rand.Rand
+	// reservoir adjacency: sorted neighbour lists.
+	adj map[uint32][]uint32
+	// edges holds the reservoir's edge list for uniform eviction.
+	edges    [][2]uint32
+	estimate float64
+}
+
+// NewTriest creates an estimator with a reservoir of m edges.
+func NewTriest(m int, seed int64) *Triest {
+	if m < 1 {
+		m = 1
+	}
+	return &Triest{m: m, rng: rand.New(rand.NewSource(seed)), adj: make(map[uint32][]uint32)}
+}
+
+// Estimate returns the current triangle estimate.
+func (tr *Triest) Estimate() float64 { return tr.estimate }
+
+// EdgesSeen returns the number of stream edges processed.
+func (tr *Triest) EdgesSeen() uint64 { return tr.t }
+
+// ReservoirSize returns the current reservoir occupancy.
+func (tr *Triest) ReservoirSize() int { return len(tr.edges) }
+
+// AddEdge feeds one undirected edge. Self loops are ignored; the
+// stream is assumed edge-distinct (feed each undirected edge once).
+func (tr *Triest) AddEdge(u, v uint32) {
+	if u == v {
+		return
+	}
+	tr.t++
+	// Count triangles closed by (u,v) inside the reservoir, scaled
+	// by the inverse sampling probability of a wedge at time t.
+	c := countSorted(tr.adj[u], tr.adj[v])
+	if c > 0 {
+		weight := 1.0
+		t := float64(tr.t)
+		m := float64(tr.m)
+		if tr.t > uint64(tr.m) {
+			weight = ((t - 1) / m) * ((t - 2) / (m - 1))
+			if weight < 1 {
+				weight = 1
+			}
+		}
+		tr.estimate += float64(c) * weight
+	}
+	// Reservoir sampling of the edge itself.
+	if len(tr.edges) < tr.m {
+		tr.insert(u, v)
+		return
+	}
+	if tr.rng.Float64() < float64(tr.m)/float64(tr.t) {
+		i := tr.rng.Intn(len(tr.edges))
+		old := tr.edges[i]
+		tr.removeAdj(old[0], old[1])
+		tr.edges[i] = [2]uint32{u, v}
+		tr.addAdj(u, v)
+	}
+}
+
+func (tr *Triest) insert(u, v uint32) {
+	tr.edges = append(tr.edges, [2]uint32{u, v})
+	tr.addAdj(u, v)
+}
+
+func (tr *Triest) addAdj(u, v uint32) {
+	tr.adj[u] = insertSorted(tr.adj[u], v)
+	tr.adj[v] = insertSorted(tr.adj[v], u)
+}
+
+func (tr *Triest) removeAdj(u, v uint32) {
+	tr.adj[u] = removeSorted(tr.adj[u], v)
+	tr.adj[v] = removeSorted(tr.adj[v], u)
+}
+
+func insertSorted(s []uint32, x uint32) []uint32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+func removeSorted(s []uint32, x uint32) []uint32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		s = append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+func countSorted(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

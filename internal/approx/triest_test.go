@@ -1,0 +1,86 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lotustc/internal/baseline"
+	"lotustc/internal/gen"
+)
+
+func TestTriestExactWithLargeReservoir(t *testing.T) {
+	// M >= |E|: nothing is ever evicted and every closing wedge is
+	// present, so the estimate is the exact count.
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 1))
+	want := float64(baseline.BruteForce(g))
+	tr := NewTriest(int(g.NumEdges())+10, 1)
+	for _, e := range g.Edges() {
+		tr.AddEdge(e.U, e.V)
+	}
+	if tr.Estimate() != want {
+		t.Fatalf("exact-mode estimate %v, want %v", tr.Estimate(), want)
+	}
+	if tr.EdgesSeen() != uint64(g.NumEdges()) {
+		t.Fatalf("seen %d edges", tr.EdgesSeen())
+	}
+	if tr.ReservoirSize() != int(g.NumEdges()) {
+		t.Fatalf("reservoir %d", tr.ReservoirSize())
+	}
+}
+
+func TestTriestUnbiasedOnAverage(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 10, 3))
+	truth := float64(baseline.Forward(g, pool, baseline.KernelMerge))
+	edges := g.Edges()
+	m := len(edges) / 2
+	var sum float64
+	const runs = 16
+	for seed := int64(0); seed < runs; seed++ {
+		tr := NewTriest(m, seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		perm := rng.Perm(len(edges))
+		for _, i := range perm {
+			tr.AddEdge(edges[i].U, edges[i].V)
+		}
+		sum += tr.Estimate()
+	}
+	mean := sum / runs
+	if rel := math.Abs(mean-truth) / truth; rel > 0.15 {
+		t.Fatalf("Triest mean %.0f deviates %.1f%% from truth %.0f", mean, 100*rel, truth)
+	}
+}
+
+func TestTriestBoundedMemory(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 5))
+	const m = 500
+	tr := NewTriest(m, 2)
+	for _, e := range g.Edges() {
+		tr.AddEdge(e.U, e.V)
+	}
+	if tr.ReservoirSize() > m {
+		t.Fatalf("reservoir grew to %d > %d", tr.ReservoirSize(), m)
+	}
+	// Adjacency entries must match reservoir edges exactly.
+	var adjEdges int
+	for _, nb := range tr.adj {
+		adjEdges += len(nb)
+	}
+	if adjEdges != 2*tr.ReservoirSize() {
+		t.Fatalf("adjacency holds %d entries for %d edges", adjEdges, tr.ReservoirSize())
+	}
+}
+
+func TestTriestDegenerate(t *testing.T) {
+	tr := NewTriest(0, 1) // clamps to 1
+	tr.AddEdge(1, 1)      // self loop ignored
+	if tr.EdgesSeen() != 0 {
+		t.Fatal("self loop counted")
+	}
+	tr.AddEdge(0, 1)
+	tr.AddEdge(1, 2)
+	tr.AddEdge(2, 0)
+	if tr.Estimate() < 0 {
+		t.Fatal("negative estimate")
+	}
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+var pool = sched.NewPool(4)
+
+// allAlgorithms runs every baseline on g and returns name->count.
+func allAlgorithms(g *graph.Graph) map[string]uint64 {
+	return map[string]uint64{
+		"forward-merge":     Forward(g, pool, KernelMerge),
+		"forward-binary":    Forward(g, pool, KernelBinary),
+		"forward-hash":      Forward(g, pool, KernelHash),
+		"forward-galloping": Forward(g, pool, KernelGalloping),
+		"forward-degen":     ForwardDegeneracy(g, pool, KernelMerge),
+		"node-iterator":     NodeIterator(g, pool),
+		"edge-iterator":     EdgeIterator(g, pool),
+		"gbbs":              GBBS(g, pool),
+		"bbtc":              BBTC(g, pool, 4),
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"empty", graph.FromEdges(nil, graph.BuildOptions{}), 0},
+		{"single-edge", graph.FromEdges([]graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{}), 0},
+		{"triangle", gen.Complete(3), 1},
+		{"K4", gen.Complete(4), 4},
+		{"K5", gen.Complete(5), 10},
+		{"K10", gen.Complete(10), 120},
+		{"star", gen.Star(50), 0},
+		{"ring", gen.Ring(50), 0},
+		{"path", gen.Path(50), 0},
+		{"grid", gen.Grid(6, 7), 0},
+		{"bipartite", gen.CompleteBipartite(5, 7), 0},
+		{"planted", gen.PlantedTriangles(11, 4), 11},
+		// HubAndSpokes(h, l, a): C(h,3) HHH + l*C(a,2) HHN triangles.
+		{"hubspokes", gen.HubAndSpokes(6, 40, 3, 2), 20 + 40*3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if bf := BruteForce(c.g); bf != c.want {
+				t.Fatalf("BruteForce = %d, want %d (oracle bug)", bf, c.want)
+			}
+			for name, got := range allAlgorithms(c.g) {
+				if got != c.want {
+					t.Errorf("%s = %d, want %d", name, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsAgreeOnRandomGraphs(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+		}
+		g := graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+		want := BruteForce(g)
+		for name, got := range allAlgorithms(g) {
+			if got != want {
+				t.Logf("seed %d: %s = %d, want %d", seed, name, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreeOnGenerators(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":    gen.RMAT(gen.DefaultRMAT(9, 8, 1)),
+		"chunglu": gen.ChungLu(gen.ChungLuParams{N: 512, M: 4096, Gamma: 2.2, Seed: 2}),
+		"er":      gen.ErdosRenyi(512, 2048, 3),
+	}
+	for gname, g := range graphs {
+		want := Forward(g, pool, KernelMerge)
+		for name, got := range allAlgorithms(g) {
+			if got != want {
+				t.Errorf("%s/%s = %d, want %d", gname, name, got, want)
+			}
+		}
+	}
+}
+
+func TestBBTCBlockCounts(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 8, 4))
+	want := BruteForce(g)
+	for _, blocks := range []int{1, 2, 3, 7, 16, 100} {
+		if got := BBTC(g, pool, blocks); got != want {
+			t.Errorf("BBTC blocks=%d: %d, want %d", blocks, got, want)
+		}
+	}
+	// blocks <= 0 must pick a default, not panic.
+	if got := BBTC(g, pool, 0); got != want {
+		t.Errorf("BBTC default blocks: %d, want %d", got, want)
+	}
+}
+
+func TestSingleWorkerPool(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 8, 5))
+	p1 := sched.NewPool(1)
+	want := BruteForce(g)
+	if got := Forward(g, p1, KernelMerge); got != want {
+		t.Errorf("Forward 1 worker = %d, want %d", got, want)
+	}
+	if got := GBBS(g, p1); got != want {
+		t.Errorf("GBBS 1 worker = %d, want %d", got, want)
+	}
+}
+
+func TestSearchOffsets(t *testing.T) {
+	offsets := []int64{0, 0, 3, 3, 5, 9}
+	cases := []struct {
+		e    int64
+		want int
+	}{{0, 1}, {1, 1}, {2, 1}, {3, 3}, {4, 3}, {5, 4}, {8, 4}}
+	for _, c := range cases {
+		if got := searchOffsets(offsets, c.e); got != c.want {
+			t.Errorf("searchOffsets(%d) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	names := map[Kernel]string{
+		KernelMerge: "merge", KernelBinary: "binary",
+		KernelHash: "hash", KernelGalloping: "galloping", Kernel(99): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kernel(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func BenchmarkForwardKernels(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(14, 8, 1))
+	for _, k := range []Kernel{KernelMerge, KernelBinary, KernelHash, KernelGalloping} {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Forward(g, pool, k)
+			}
+		})
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(13, 8, 1))
+	b.Run("edge-iterator", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EdgeIterator(g, pool)
+		}
+	})
+	b.Run("gbbs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GBBS(g, pool)
+		}
+	})
+	b.Run("bbtc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BBTC(g, pool, 16)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package baseline
+
+import (
+	"lotustc/internal/graph"
+	"lotustc/internal/intersect"
+	"lotustc/internal/sched"
+)
+
+// This file implements the classic algorithms §6.1 surveys — the
+// lineage LOTUS descends from. They are exercised by the
+// baselines-classic experiment and the cross-algorithm agreement
+// tests.
+
+// NewVertexListing is Latapy's algorithm [48]: for each vertex,
+// mark its neighbours in a (reused) bitmap, then for each neighbour u
+// count how many of u's neighbours are marked. Restricting the scan
+// to u < v and marked w < u counts each triangle exactly once.
+// LOTUS borrows the bitmap idea for its H2H array, but applies it to
+// all hub-hub edges at once rather than one vertex at a time.
+func NewVertexListing(g *graph.Graph, pool *sched.Pool) uint64 {
+	n := g.NumVertices()
+	acc := sched.NewAccumulator(pool.Workers())
+	bitmaps := make([]*intersect.Bitmap, pool.Workers())
+	for i := range bitmaps {
+		bitmaps[i] = intersect.NewBitmap(n)
+	}
+	pool.For(n, 0, func(worker, start, end int) {
+		bm := bitmaps[worker]
+		var local uint64
+		for v := start; v < end; v++ {
+			nv := g.Neighbors(uint32(v))
+			bm.Reset()
+			for _, u := range nv {
+				if u < uint32(v) {
+					bm.Set(u)
+				}
+			}
+			for _, u := range nv {
+				if u >= uint32(v) {
+					break
+				}
+				for _, w := range g.Neighbors(u) {
+					if w >= u {
+						break
+					}
+					if bm.Get(w) {
+						local++
+					}
+				}
+			}
+		}
+		acc.Add(worker, local)
+	})
+	return acc.Sum()
+}
+
+// NodeIteratorCore is Schank & Wagner's improvement [62]: repeatedly
+// take a minimum-degree vertex, count the edges among its remaining
+// neighbours, and delete it. Deletion keeps every intersection small
+// (bounded by the graph's degeneracy). Sequential by nature — the
+// removal order is a data dependence — so it runs single-threaded.
+func NodeIteratorCore(g *graph.Graph) uint64 {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	maxd := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(uint32(v)))
+		if int(deg[v]) > maxd {
+			maxd = int(deg[v])
+		}
+	}
+	// Bucket queue over degrees (the O(V+E) k-core machinery).
+	buckets := make([][]uint32, maxd+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], uint32(v))
+	}
+	removed := make([]bool, n)
+	pos := make([]int32, n) // current degree of v (lazy bucket entries)
+	copy(pos, deg)
+
+	var count uint64
+	var alive []uint32
+	processed := 0
+	cur := 0
+	for processed < n {
+		for cur <= maxd && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxd {
+			break
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || pos[v] != int32(cur) {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		processed++
+		// Gather the alive neighbours once; their count is bounded by
+		// v's current degree (= cur <= degeneracy), so the pair loop
+		// below is small even for original hubs.
+		alive = alive[:0]
+		for _, u := range g.Neighbors(v) {
+			if !removed[u] {
+				alive = append(alive, u)
+			}
+		}
+		for i, u := range alive {
+			for _, w := range alive[i+1:] {
+				if g.HasEdge(u, w) {
+					count++
+				}
+			}
+			// Degree decrement for u; push lazily into its bucket.
+			pos[u]--
+			buckets[pos[u]] = append(buckets[pos[u]], u)
+			if int(pos[u]) < cur {
+				cur = int(pos[u])
+			}
+		}
+	}
+	return count
+}
+
+// AYZ implements Alon-Yuster-Zwick [1] in its combinatorial form:
+// pick a degree threshold δ; triangles containing a low-degree vertex
+// are found by enumerating wedges centred at low-degree vertices
+// (each such triangle charged to its lowest-ID low-degree vertex),
+// and triangles whose three corners are all high-degree are counted
+// on the dense high-degree induced sub-graph with an adjacency bit
+// matrix (standing in for the paper's fast matrix multiplication).
+// δ <= 0 picks ceil(sqrt(|E|)), the theoretically optimal split.
+func AYZ(g *graph.Graph, pool *sched.Pool, delta int) uint64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	if delta <= 0 {
+		delta = 1
+		for int64(delta)*int64(delta) < g.NumEdges() {
+			delta++
+		}
+	}
+	isLow := make([]bool, n)
+	var highIDs []uint32
+	highIndex := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if g.Degree(uint32(v)) <= delta {
+			isLow[v] = true
+			highIndex[v] = -1
+		} else {
+			highIndex[v] = int32(len(highIDs))
+			highIDs = append(highIDs, uint32(v))
+		}
+	}
+
+	// Part 1: triangles with >= 1 low-degree vertex, charged to the
+	// smallest-ID low-degree corner: enumerate neighbour pairs (u,w)
+	// of each low vertex v with the charge condition, test adjacency.
+	acc := sched.NewAccumulator(pool.Workers())
+	pool.For(n, 0, func(worker, start, end int) {
+		var local uint64
+		for v := start; v < end; v++ {
+			if !isLow[v] {
+				continue
+			}
+			nv := g.Neighbors(uint32(v))
+			for i := 0; i < len(nv); i++ {
+				u := nv[i]
+				if isLow[u] && u < uint32(v) {
+					continue // triangle charged to u instead
+				}
+				for j := i + 1; j < len(nv); j++ {
+					w := nv[j]
+					if isLow[w] && w < uint32(v) {
+						continue
+					}
+					if g.HasEdge(u, w) {
+						local++
+					}
+				}
+			}
+		}
+		acc.Add(worker, local)
+	})
+	count := acc.Sum()
+
+	// Part 2: all-high triangles on the dense bit matrix. There are
+	// at most 2|E|/δ high vertices, so the matrix stays compact.
+	h := len(highIDs)
+	if h >= 3 {
+		words := (h + 63) / 64
+		rows := make([]uint64, h*words)
+		for i, v := range highIDs {
+			for _, u := range g.Neighbors(v) {
+				if j := highIndex[u]; j >= 0 {
+					rows[i*words+int(j)>>6] |= 1 << (uint(j) & 63)
+				}
+			}
+		}
+		hacc := sched.NewAccumulator(pool.Workers())
+		pool.For(h, 0, func(worker, start, end int) {
+			var local uint64
+			for i := start; i < end; i++ {
+				ri := rows[i*words : (i+1)*words]
+				for j := i + 1; j < h; j++ {
+					if ri[j>>6]&(1<<(uint(j)&63)) == 0 {
+						continue
+					}
+					rj := rows[j*words : (j+1)*words]
+					// Common high neighbours k > j close triangles
+					// (i < j < k counts each once).
+					for w := j >> 6; w < words; w++ {
+						x := ri[w] & rj[w]
+						if w == j>>6 {
+							x &= ^uint64(0) << ((uint(j) & 63) + 1)
+						}
+						local += uint64(popcount64(x))
+					}
+				}
+			}
+			hacc.Add(worker, local)
+		})
+		count += hacc.Sum()
+	}
+	return count
+}
+
+// MatrixTC counts triangles through the linear-algebra identity
+// trace(A^3)/6 = Σ_{(u,v) ∈ E} |N(u) ∩ N(v)| / 6, evaluated with a
+// dense adjacency bit matrix and word-parallel row ANDs — the
+// GraphBLAS-style formulation of Azad et al. [8]. Memory is
+// |V|^2/8 bytes, so it is restricted to |V| <= 1<<15; larger inputs
+// panic rather than silently allocating gigabytes.
+func MatrixTC(g *graph.Graph, pool *sched.Pool) uint64 {
+	n := g.NumVertices()
+	if n > 1<<15 {
+		panic("baseline: MatrixTC requires |V| <= 32768")
+	}
+	if n == 0 {
+		return 0
+	}
+	words := (n + 63) / 64
+	rows := make([]uint64, n*words)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			rows[v*words+int(u)>>6] |= 1 << (uint(u) & 63)
+		}
+	}
+	acc := sched.NewAccumulator(pool.Workers())
+	pool.For(n, 0, func(worker, start, end int) {
+		var local uint64
+		for v := start; v < end; v++ {
+			rv := rows[v*words : (v+1)*words]
+			for _, u := range g.Neighbors(uint32(v)) {
+				if u >= uint32(v) {
+					break // each undirected edge once
+				}
+				ru := rows[int(u)*words : (int(u)+1)*words]
+				for w := 0; w < words; w++ {
+					local += uint64(popcount64(rv[w] & ru[w]))
+				}
+			}
+		}
+		acc.Add(worker, local)
+	})
+	// Each triangle is seen at 3 edges, each contributing its third
+	// vertex once.
+	return acc.Sum() / 3
+}
+
+func popcount64(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

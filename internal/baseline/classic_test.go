@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+)
+
+func classicAlgorithms(g *graph.Graph) map[string]uint64 {
+	return map[string]uint64{
+		"new-vertex-listing": NewVertexListing(g, pool),
+		"node-iterator-core": NodeIteratorCore(g),
+		"ayz-auto":           AYZ(g, pool, 0),
+		"ayz-delta2":         AYZ(g, pool, 2),
+		"ayz-delta-huge":     AYZ(g, pool, 1<<30),
+		"matrix":             MatrixTC(g, pool),
+	}
+}
+
+func TestMatrixTCGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized matrix")
+		}
+	}()
+	huge := graph.FromEdges(nil, graph.BuildOptions{NumVertices: 1<<15 + 1})
+	MatrixTC(huge, pool)
+}
+
+func TestClassicKnownCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"empty", graph.FromEdges(nil, graph.BuildOptions{}), 0},
+		{"triangle", gen.Complete(3), 1},
+		{"K6", gen.Complete(6), 20},
+		{"K10", gen.Complete(10), 120},
+		{"star", gen.Star(30), 0},
+		{"ring", gen.Ring(30), 0},
+		{"bipartite", gen.CompleteBipartite(4, 6), 0},
+		{"planted", gen.PlantedTriangles(8, 2), 8},
+		{"hubspokes", gen.HubAndSpokes(5, 30, 2, 1), 10 + 30},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for name, got := range classicAlgorithms(c.g) {
+				if got != c.want {
+					t.Errorf("%s = %d, want %d", name, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestClassicAgreeProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(50)
+		var edges []graph.Edge
+		for i := 0; i < rng.Intn(4*n); i++ {
+			edges = append(edges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+		}
+		g := graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+		want := BruteForce(g)
+		for name, got := range classicAlgorithms(g) {
+			if got != want {
+				t.Logf("seed %d: %s = %d, want %d", seed, name, got, want)
+				return false
+			}
+		}
+		// Random delta must also work.
+		if got := AYZ(g, pool, 1+rng.Intn(20)); got != want {
+			t.Logf("seed %d: ayz random delta = %d, want %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicOnGenerators(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":    gen.RMAT(gen.DefaultRMAT(9, 8, 6)),
+		"ba":      gen.BarabasiAlbert(500, 3, 7),
+		"chunglu": gen.ChungLu(gen.ChungLuParams{N: 512, M: 3000, Gamma: 2.1, Seed: 8}),
+	}
+	for gname, g := range graphs {
+		want := Forward(g, pool, KernelMerge)
+		for name, got := range classicAlgorithms(g) {
+			if got != want {
+				t.Errorf("%s/%s = %d, want %d", gname, name, got, want)
+			}
+		}
+	}
+}
+
+func TestAYZAllHighAllLow(t *testing.T) {
+	g := gen.Complete(12) // every vertex degree 11
+	want := uint64(220)
+	// delta 0 after auto-pick; delta 1 makes everything high; huge
+	// delta makes everything low.
+	if got := AYZ(g, pool, 1); got != want {
+		t.Fatalf("all-high AYZ = %d, want %d", got, want)
+	}
+	if got := AYZ(g, pool, 100); got != want {
+		t.Fatalf("all-low AYZ = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkClassic(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(12, 8, 1))
+	b.Run("new-vertex-listing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchClassicSink += NewVertexListing(g, pool)
+		}
+	})
+	b.Run("node-iterator-core", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchClassicSink += NodeIteratorCore(g)
+		}
+	})
+	b.Run("ayz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchClassicSink += AYZ(g, pool, 0)
+		}
+	})
+}
+
+var benchClassicSink uint64

@@ -1,0 +1,179 @@
+// Package bitarray implements the H2H triangular bit array at the
+// heart of LOTUS (§4.2): a dense, cache-resident adjacency structure
+// for hub-to-hub edges. For hubs h1 > h2 >= 0, the bit with index
+// h1*(h1-1)/2 + h2 records whether the edge (h1,h2) exists. The array
+// is "h1-major", so the bits of consecutive h2 values for a fixed h1
+// are contiguous — the property §4.4.1 exploits by reusing the
+// h1*(h1-1)/2 base while scanning h2.
+package bitarray
+
+import "sync/atomic"
+
+// Tri is a triangular bit array over n hub IDs. It supports lock-free
+// concurrent Set during parallel preprocessing and wait-free IsSet
+// during counting.
+type Tri struct {
+	n     uint32
+	words []uint64
+}
+
+// NewTri allocates a zeroed triangular array for n hubs, occupying
+// n*(n-1)/2 bits as in Alg 2 line 3.
+func NewTri(n uint32) *Tri {
+	bits := uint64(n) * uint64(n-1) / 2
+	if n == 0 {
+		bits = 0
+	}
+	return &Tri{n: n, words: make([]uint64, (bits+63)/64)}
+}
+
+// N returns the number of hub IDs covered.
+func (t *Tri) N() uint32 { return t.n }
+
+// Bits returns the bit capacity n*(n-1)/2.
+func (t *Tri) Bits() uint64 {
+	if t.n == 0 {
+		return 0
+	}
+	return uint64(t.n) * uint64(t.n-1) / 2
+}
+
+// SizeBytes returns the allocated backing size in bytes. For the
+// paper's 64K hubs this is 256 MB (§4.2); scaled-down hub counts
+// shrink it quadratically.
+func (t *Tri) SizeBytes() int64 { return int64(len(t.words)) * 8 }
+
+// Words exposes the backing word array for serialization. The slice
+// aliases the array's storage.
+func (t *Tri) Words() []uint64 { return t.words }
+
+// index returns the bit index of the pair (h1, h2), h1 > h2.
+func index(h1, h2 uint32) uint64 {
+	return uint64(h1)*uint64(h1-1)/2 + uint64(h2)
+}
+
+// BitIndex exposes the h1-major bit index, used by the access
+// profiler (Fig 9) to map probes onto cachelines.
+func BitIndex(h1, h2 uint32) uint64 {
+	if h1 < h2 {
+		h1, h2 = h2, h1
+	}
+	return index(h1, h2)
+}
+
+// Set records the edge (h1, h2). Arguments may come in either order;
+// h1 == h2 (a self pair) is ignored. Safe for concurrent use.
+func (t *Tri) Set(h1, h2 uint32) {
+	if h1 == h2 {
+		return
+	}
+	if h1 < h2 {
+		h1, h2 = h2, h1
+	}
+	i := index(h1, h2)
+	w := &t.words[i>>6]
+	mask := uint64(1) << (i & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// IsSet reports whether the edge (h1, h2) is present; the two-hub
+// connectivity test of Alg 3 line 5. It is a plain load: counting
+// never runs concurrently with preprocessing.
+func (t *Tri) IsSet(h1, h2 uint32) bool {
+	if h1 == h2 {
+		return false
+	}
+	if h1 < h2 {
+		h1, h2 = h2, h1
+	}
+	i := index(h1, h2)
+	return t.words[i>>6]&(uint64(1)<<(i&63)) != 0
+}
+
+// Row returns, for a fixed h1, a RowProbe positioned at the start of
+// h1's bit row, letting the inner loop of Alg 3 probe consecutive h2
+// bits without recomputing the triangular base.
+func (t *Tri) Row(h1 uint32) RowProbe {
+	return RowProbe{t: t, base: uint64(h1) * uint64(h1-1) / 2}
+}
+
+// RowProbe is a cursor over one h1 row of the triangular array.
+type RowProbe struct {
+	t    *Tri
+	base uint64
+}
+
+// IsSet probes bit h2 of the row (h2 must be < h1).
+func (r RowProbe) IsSet(h2 uint32) bool {
+	i := r.base + uint64(h2)
+	return r.t.words[i>>6]&(uint64(1)<<(i&63)) != 0
+}
+
+// PopCount returns the number of set bits (hub-to-hub edges).
+func (t *Tri) PopCount() uint64 {
+	var n uint64
+	for _, w := range t.words {
+		n += uint64(popcount(w))
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Density returns the fraction of set bits, Table 8 column 1.
+func (t *Tri) Density() float64 {
+	b := t.Bits()
+	if b == 0 {
+		return 0
+	}
+	return float64(t.PopCount()) / float64(b)
+}
+
+// ZeroCachelineFraction returns the fraction of 64-byte-aligned blocks
+// of the array containing 512 zero bits, Table 8 column 2. Web graphs
+// in the paper show 75-95% zero blocks (hubs cluster); social networks
+// 5-62%.
+func (t *Tri) ZeroCachelineFraction() float64 {
+	const wordsPerLine = 8 // 64 bytes
+	if len(t.words) == 0 {
+		return 0
+	}
+	lines := (len(t.words) + wordsPerLine - 1) / wordsPerLine
+	zero := 0
+	for l := 0; l < lines; l++ {
+		allZero := true
+		for w := l * wordsPerLine; w < len(t.words) && w < (l+1)*wordsPerLine; w++ {
+			if t.words[w] != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			zero++
+		}
+	}
+	return float64(zero) / float64(lines)
+}
+
+// Cacheline returns the 64-byte cacheline index holding bit (h1,h2),
+// used by the Fig 9 H2H access profiler.
+func Cacheline(h1, h2 uint32) uint64 {
+	return BitIndex(h1, h2) / 512 // 512 bits per 64-byte line
+}
+
+// NumCachelines returns the number of 64-byte lines backing the array.
+func (t *Tri) NumCachelines() int {
+	return (len(t.words) + 7) / 8
+}

@@ -1,0 +1,220 @@
+package bitarray
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriBasic(t *testing.T) {
+	tr := NewTri(8)
+	if tr.Bits() != 28 {
+		t.Fatalf("Bits = %d, want 28", tr.Bits())
+	}
+	tr.Set(5, 2)
+	if !tr.IsSet(5, 2) || !tr.IsSet(2, 5) {
+		t.Fatal("Set(5,2) not visible in both argument orders")
+	}
+	if tr.IsSet(5, 3) || tr.IsSet(2, 2) {
+		t.Fatal("spurious bits set")
+	}
+	tr.Set(1, 0)
+	if BitIndex(1, 0) != 0 {
+		t.Fatalf("BitIndex(1,0) = %d, want 0", BitIndex(1, 0))
+	}
+	if !tr.IsSet(0, 1) {
+		t.Fatal("bit 0 not set")
+	}
+}
+
+func TestTriIndexFormula(t *testing.T) {
+	// Paper: for h1 > h2 >= 0, index = h1(h1-1)/2 + h2.
+	cases := []struct {
+		h1, h2 uint32
+		want   uint64
+	}{
+		{1, 0, 0}, {2, 0, 1}, {2, 1, 2}, {3, 0, 3}, {3, 2, 5}, {100, 7, 4957},
+	}
+	for _, c := range cases {
+		if got := BitIndex(c.h1, c.h2); got != c.want {
+			t.Errorf("BitIndex(%d,%d) = %d, want %d", c.h1, c.h2, got, c.want)
+		}
+	}
+}
+
+func TestTriAllPairsDistinct(t *testing.T) {
+	// Every pair must map to a distinct bit and round-trip exactly.
+	const n = 40
+	tr := NewTri(n)
+	for h1 := uint32(1); h1 < n; h1++ {
+		for h2 := uint32(0); h2 < h1; h2++ {
+			if tr.IsSet(h1, h2) {
+				t.Fatalf("(%d,%d) set before Set — index collision", h1, h2)
+			}
+			tr.Set(h1, h2)
+			if !tr.IsSet(h1, h2) {
+				t.Fatalf("(%d,%d) lost", h1, h2)
+			}
+		}
+	}
+	if tr.PopCount() != uint64(n*(n-1)/2) {
+		t.Fatalf("PopCount = %d, want %d", tr.PopCount(), n*(n-1)/2)
+	}
+	if tr.Density() != 1 {
+		t.Fatalf("full array density = %v", tr.Density())
+	}
+}
+
+func TestTriSelfPairIgnored(t *testing.T) {
+	tr := NewTri(4)
+	tr.Set(2, 2)
+	if tr.PopCount() != 0 {
+		t.Fatal("self pair set a bit")
+	}
+	if tr.IsSet(2, 2) {
+		t.Fatal("IsSet(2,2) = true")
+	}
+}
+
+func TestTriZeroAndOneHub(t *testing.T) {
+	tr := NewTri(0)
+	if tr.Bits() != 0 || tr.SizeBytes() != 0 {
+		t.Fatal("empty array not empty")
+	}
+	tr1 := NewTri(1)
+	if tr1.Bits() != 0 {
+		t.Fatalf("one hub should have 0 bits, got %d", tr1.Bits())
+	}
+	if tr1.ZeroCachelineFraction() != 0 {
+		t.Fatal("no cachelines -> fraction 0")
+	}
+}
+
+func TestTriConcurrentSet(t *testing.T) {
+	const n = 256
+	tr := NewTri(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				h1 := uint32(rng.Intn(n))
+				h2 := uint32(rng.Intn(n))
+				tr.Set(h1, h2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Replay sequentially and compare.
+	ref := NewTri(n)
+	for w := 0; w < 8; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 2000; i++ {
+			h1 := uint32(rng.Intn(n))
+			h2 := uint32(rng.Intn(n))
+			ref.Set(h1, h2)
+		}
+	}
+	if tr.PopCount() != ref.PopCount() {
+		t.Fatalf("concurrent PopCount %d != sequential %d", tr.PopCount(), ref.PopCount())
+	}
+	for i := range tr.words {
+		if tr.words[i] != ref.words[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}
+
+func TestRowProbeMatchesIsSet(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := uint32(2 + rng.Intn(100))
+		tr := NewTri(n)
+		for i := 0; i < 50; i++ {
+			tr.Set(uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n))))
+		}
+		for h1 := uint32(1); h1 < n; h1++ {
+			row := tr.Row(h1)
+			for h2 := uint32(0); h2 < h1; h2++ {
+				if row.IsSet(h2) != tr.IsSet(h1, h2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCachelineFraction(t *testing.T) {
+	// 64 hubs -> 2016 bits -> 32 words -> 4 cachelines.
+	tr := NewTri(64)
+	if tr.NumCachelines() != 4 {
+		t.Fatalf("NumCachelines = %d, want 4", tr.NumCachelines())
+	}
+	if f := tr.ZeroCachelineFraction(); f != 1 {
+		t.Fatalf("empty array zero fraction = %v, want 1", f)
+	}
+	tr.Set(1, 0) // touches line 0 only
+	if f := tr.ZeroCachelineFraction(); f != 0.75 {
+		t.Fatalf("zero fraction = %v, want 0.75", f)
+	}
+}
+
+func TestCachelineMapping(t *testing.T) {
+	if Cacheline(1, 0) != 0 {
+		t.Fatal("bit 0 must be on line 0")
+	}
+	// Bit index 512 is the first bit of line 1. h1=32: base = 32*31/2 = 496;
+	// 496+16 = 512 -> (32,16) on line 1.
+	if Cacheline(32, 16) != 1 {
+		t.Fatalf("Cacheline(32,16) = %d, want 1", Cacheline(32, 16))
+	}
+}
+
+func TestSizeBytesPaperScale(t *testing.T) {
+	// The paper's 64K hubs: 2^16 * (2^16 -1)/2 bits ≈ 2^31 bits = 256 MB.
+	tr := NewTri(1 << 16)
+	gb := tr.SizeBytes()
+	if gb < 255<<20 || gb > 257<<20 {
+		t.Fatalf("64K-hub H2H = %d bytes, want ~256 MB", gb)
+	}
+}
+
+func BenchmarkTriSet(b *testing.B) {
+	tr := NewTri(1 << 12)
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]uint32, 4096)
+	for i := range pairs {
+		pairs[i] = [2]uint32{uint32(rng.Intn(1 << 12)), uint32(rng.Intn(1 << 12))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&4095]
+		tr.Set(p[0], p[1])
+	}
+}
+
+func BenchmarkTriIsSet(b *testing.B) {
+	tr := NewTri(1 << 12)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		tr.Set(uint32(rng.Intn(1<<12)), uint32(rng.Intn(1<<12)))
+	}
+	pairs := make([][2]uint32, 4096)
+	for i := range pairs {
+		pairs[i] = [2]uint32{uint32(rng.Intn(1 << 12)), uint32(rng.Intn(1 << 12))}
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&4095]
+		sink = tr.IsSet(p[0], p[1])
+	}
+	_ = sink
+}

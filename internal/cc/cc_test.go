@@ -1,0 +1,114 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+var pool = sched.NewPool(4)
+
+// sameComponents checks that two labelings induce the same partition.
+func sameComponents(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ab := map[uint32]uint32{}
+	ba := map[uint32]uint32{}
+	for i := range a {
+		if x, ok := ab[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := ba[b[i]]; ok && x != a[i] {
+			return false
+		}
+		ab[a[i]] = b[i]
+		ba[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestKnownStructures(t *testing.T) {
+	cases := []struct {
+		name       string
+		g          *graph.Graph
+		components int
+	}{
+		{"ring", gen.Ring(50), 1},
+		{"path", gen.Path(50), 1},
+		{"planted", gen.PlantedTriangles(7, 5), 12}, // 7 triangles + 5 isolated
+		{"star", gen.Star(20), 1},
+		{"empty", graph.FromEdges(nil, graph.BuildOptions{NumVertices: 4}), 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lp := LabelPropagation(c.g, pool)
+			uf := UnionFind(c.g)
+			if !sameComponents(lp, uf) {
+				t.Fatal("LP and UF disagree")
+			}
+			if got := Summarize(lp).Components; got != c.components {
+				t.Fatalf("components = %d, want %d", got, c.components)
+			}
+		})
+	}
+}
+
+func TestLPMatchesUFProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		var edges []graph.Edge
+		for i := 0; i < rng.Intn(2*n); i++ {
+			edges = append(edges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+		}
+		g := graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+		return sameComponents(LabelPropagation(g, pool), UnionFind(g))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiantComponentRMAT(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(12, 8, 1))
+	s := Summarize(LabelPropagation(g, pool))
+	if s.LargestShare < 0.5 {
+		t.Fatalf("RMAT giant component share %.2f, want > 0.5", s.LargestShare)
+	}
+	if s.Components < 1 {
+		t.Fatal("no components")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]uint32{0, 0, 0, 3, 4})
+	if s.Components != 3 || s.LargestSize != 3 || s.Isolated != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.LargestShare != 0.6 {
+		t.Fatalf("share = %v", s.LargestShare)
+	}
+	empty := Summarize(nil)
+	if empty.Components != 0 || empty.LargestShare != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestLabelsAreMinVertexID(t *testing.T) {
+	// Min-label propagation fixpoint: every vertex's label equals the
+	// smallest vertex ID in its component.
+	g := gen.PlantedTriangles(4, 2)
+	labels := LabelPropagation(g, pool)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if labels[3*i+j] != uint32(3*i) {
+				t.Fatalf("triangle %d vertex %d label %d", i, j, labels[3*i+j])
+			}
+		}
+	}
+}

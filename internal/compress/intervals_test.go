@@ -1,0 +1,116 @@
+package compress
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+)
+
+func TestIntervalRoundTripStructured(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ring":    gen.Ring(100),    // long consecutive runs
+		"path":    gen.Path(50),     //
+		"grid":    gen.Grid(8, 9),   //
+		"k16":     gen.Complete(16), // one big run per vertex
+		"star":    gen.Star(30),     // center has a full run
+		"rmat":    gen.RMAT(gen.DefaultRMAT(9, 8, 1)),
+		"empty":   graph.FromEdges(nil, graph.BuildOptions{NumVertices: 4}),
+		"oneedge": graph.FromEdges([]graph.Edge{{U: 0, V: 3}}, graph.BuildOptions{}),
+	}
+	for name, g := range graphs {
+		c := EncodeIntervals(g)
+		g2, err := c.Decode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(g2.Offsets(), g.Offsets()) || !reflect.DeepEqual(g2.RawNeighbors(), g.RawNeighbors()) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+func TestIntervalRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		var edges []graph.Edge
+		for i := 0; i < rng.Intn(6*n); i++ {
+			edges = append(edges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+		}
+		g := graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+		if rng.Intn(2) == 0 {
+			g = g.Orient()
+		}
+		c := EncodeIntervals(g)
+		g2, err := c.Decode()
+		if err != nil {
+			return false
+		}
+		return g2.Oriented == g.Oriented &&
+			reflect.DeepEqual(g2.Offsets(), g.Offsets()) &&
+			reflect.DeepEqual(g2.RawNeighbors(), g.RawNeighbors())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalBeatsGapOnRunHeavyGraphs(t *testing.T) {
+	// K64: every neighbour list is (nearly) one long run; intervals
+	// should crush plain gap coding.
+	s := CompareAllSizes(gen.Complete(64))
+	if s.IntervalBytes >= s.GapBytes {
+		t.Fatalf("intervals %d >= gaps %d on K64", s.IntervalBytes, s.GapBytes)
+	}
+	if s.IntervalBytes >= s.CSXBytes {
+		t.Fatalf("intervals %d >= CSX %d on K64", s.IntervalBytes, s.CSXBytes)
+	}
+	// Grids too (rows of consecutive IDs are absent — grid neighbours
+	// differ by ±1 and ±cols, so runs are rare: interval coding must
+	// at least not explode).
+	sg := CompareAllSizes(gen.Grid(30, 30))
+	if sg.IntervalBytes > sg.GapBytes*2 {
+		t.Fatalf("interval overhead too high on grid: %d vs %d", sg.IntervalBytes, sg.GapBytes)
+	}
+}
+
+func TestIntervalRejectsCorrupt(t *testing.T) {
+	c := EncodeIntervals(gen.Complete(8))
+	sawError := false
+	for i := range c.data {
+		orig := c.data[i]
+		for _, b := range []byte{0xFF, 0x00, orig ^ 0x55} {
+			c.data[i] = b
+			if _, err := c.Decode(); err != nil {
+				sawError = true
+			}
+		}
+		c.data[i] = orig
+	}
+	if !sawError {
+		t.Fatal("no corruption ever detected")
+	}
+	if _, err := c.Decode(); err != nil {
+		t.Fatalf("restored stream fails: %v", err)
+	}
+}
+
+func TestIntervalMinRunRespected(t *testing.T) {
+	// A 2-run (below minIntervalLen) must be residual-coded; verify
+	// by round trip of a graph whose lists have exactly 2-runs.
+	g := graph.FromEdges([]graph.Edge{
+		{U: 0, V: 5}, {U: 0, V: 6}, {U: 0, V: 9},
+	}, graph.BuildOptions{NumVertices: 10})
+	c := EncodeIntervals(g)
+	g2, err := c.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g2.RawNeighbors(), g.RawNeighbors()) {
+		t.Fatal("short-run round trip mismatch")
+	}
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"lotustc/internal/intersect"
+	"lotustc/internal/sched"
+)
+
+// Partitioner selects the load-balancing policy for the quadratic
+// HHH/HHN phase (§4.6, Table 9).
+type Partitioner int
+
+const (
+	// SquaredEdgeTiling splits a high-degree vertex's pair work at
+	// boundaries i_k ≈ d·sqrt(k/p), equalizing work complexity.
+	SquaredEdgeTiling Partitioner = iota
+	// EdgeBalanced splits a high-degree vertex's neighbours into
+	// equal-count ranges, the [67]/[79] policy the paper compares
+	// against; tiles near the end of the list carry quadratically
+	// more work.
+	EdgeBalanced
+)
+
+// String names the partitioner.
+func (p Partitioner) String() string {
+	if p == SquaredEdgeTiling {
+		return "squared-edge-tiling"
+	}
+	return "edge-balanced"
+}
+
+// CountOptions tune the counting phases.
+type CountOptions struct {
+	// Partitioner for phase 1 (default SquaredEdgeTiling).
+	Partitioner Partitioner
+	// TileThreshold: vertices with more than this many hub
+	// neighbours are tiled (paper: 512).
+	TileThreshold int
+	// TilesPerVertex: number of partitions per tiled vertex
+	// (paper: 2 × #threads). Zero picks 2 × pool workers. For the
+	// EdgeBalanced policy the paper uses 256 × #threads partitions
+	// across all edges; we apply the same per-vertex tile count for
+	// a like-for-like comparison and report idle time.
+	TilesPerVertex int
+	// FuseHNNAndNNN runs the HNN and NNN loops fused in a single
+	// traversal of NHE — the alternative §4.5 argues against;
+	// exposed for the ablation benchmark.
+	FuseHNNAndNNN bool
+	// WorkStealing schedules the phase-1 tiles on per-worker
+	// Chase-Lev deques with stealing (the paper's runtime model,
+	// §5.1.3) instead of the shared-counter self-scheduler. Results
+	// are identical; only the scheduling differs.
+	WorkStealing bool
+	// HNNBlocks > 0 enables the §7 future-work blocking for the HNN
+	// phase: the non-hub ID range is split into that many blocks and
+	// the NHE sub-graph is traversed once per block, intersecting
+	// only with neighbours u inside the block. The random HE-row
+	// accesses of each pass are then confined to one block's rows,
+	// shrinking the randomly-accessed working set at the cost of
+	// re-streaming NHE per block.
+	HNNBlocks int
+	// SkipNNN suppresses phase 3. CountRecursive replaces it with a
+	// recursive LOTUS split of the non-hub sub-graph; the approx
+	// package replaces it with sampling (§6.2).
+	SkipNNN bool
+}
+
+// DefaultTileThreshold is the paper's tiling cutoff (§5.8).
+const DefaultTileThreshold = 512
+
+// Result carries the totals, the per-class breakdown (Fig 7) and the
+// per-phase timing (Fig 6) and load reports (Table 9) of one count.
+type Result struct {
+	Total uint64
+	// Triangle classes (§4.1).
+	HHH, HHN, HNN, NNN uint64
+	// Phase wall times (preprocessing time lives on the LotusGraph).
+	Phase1Time, HNNTime, NNNTime time.Duration
+	// Load reports for the three phases.
+	Phase1Load, HNNLoad, NNNLoad sched.LoadReport
+}
+
+// HubTriangles returns the triangles containing at least one hub.
+func (r *Result) HubTriangles() uint64 { return r.HHH + r.HHN + r.HNN }
+
+// Count runs Algorithm 3 with default options.
+func (lg *LotusGraph) Count(pool *sched.Pool) *Result {
+	return lg.CountWithOptions(pool, CountOptions{})
+}
+
+// CountWithOptions runs Algorithm 3: phase 1 counts HHH and HHN
+// triangles against the H2H bit array, phase 2 counts HNN triangles
+// by intersecting 16-bit HE rows, and phase 3 counts NNN triangles by
+// intersecting NHE rows with merge join.
+func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Result {
+	if pool == nil {
+		pool = sched.NewPool(0)
+	}
+	if opt.TileThreshold <= 0 {
+		opt.TileThreshold = DefaultTileThreshold
+	}
+	if opt.TilesPerVertex <= 0 {
+		opt.TilesPerVertex = 2 * pool.Workers()
+	}
+	res := &Result{}
+
+	t0 := time.Now()
+	res.Phase1Load = lg.countPhase1(pool, opt, res)
+	res.Phase1Time = time.Since(t0)
+
+	switch {
+	case opt.SkipNNN:
+		t1 := time.Now()
+		res.HNNLoad = lg.countHNN(pool, res)
+		res.HNNTime = time.Since(t1)
+	case opt.FuseHNNAndNNN:
+		t1 := time.Now()
+		res.HNNLoad = lg.countFused(pool, res)
+		d := time.Since(t1)
+		res.HNNTime, res.NNNTime = d/2, d/2
+		res.NNNLoad = res.HNNLoad
+	default:
+		t1 := time.Now()
+		if opt.HNNBlocks > 1 {
+			res.HNNLoad = lg.countHNNBlocked(pool, res, opt.HNNBlocks)
+		} else {
+			res.HNNLoad = lg.countHNN(pool, res)
+		}
+		res.HNNTime = time.Since(t1)
+
+		t2 := time.Now()
+		res.NNNLoad = lg.countNNN(pool, res)
+		res.NNNTime = time.Since(t2)
+	}
+
+	res.Total = res.HHH + res.HHN + res.HNN + res.NNN
+	return res
+}
+
+// tile is one unit of phase-1 work: either a contiguous vertex range
+// [vStart, vEnd) processed whole, or (when vEnd == 0 and hi > 0) the
+// pair sub-range [lo, hi) of vertex vStart's hub-neighbour indices.
+type tile struct {
+	vStart, vEnd uint32
+	lo, hi       uint32
+}
+
+// phase1Tiles builds the phase-1 task list. High-degree vertices
+// (HE degree > threshold) become TilesPerVertex pair tiles under the
+// selected policy; the remaining vertices are grouped into ranges of
+// roughly equal pair work.
+func (lg *LotusGraph) phase1Tiles(opt CountOptions, workers int) []tile {
+	n := lg.numVertices
+	var tiles []tile
+	// Sqrt(k/p) boundaries are shared across vertices (§4.6: values
+	// of sqrt(f) are pre-calculated and reused).
+	p := opt.TilesPerVertex
+	sqrtF := make([]float64, p+1)
+	for k := 0; k <= p; k++ {
+		sqrtF[k] = math.Sqrt(float64(k) / float64(p))
+	}
+
+	var totalSmallWork uint64
+	for v := 0; v < n; v++ {
+		d := lg.HE.Degree(uint32(v))
+		if d <= opt.TileThreshold {
+			totalSmallWork += uint64(d) * uint64(d-1) / 2
+		}
+	}
+	budget := totalSmallWork/uint64(workers*16) + 1
+
+	var rangeStart int
+	var rangeWork uint64
+	flush := func(endExclusive int) {
+		if rangeStart < endExclusive {
+			tiles = append(tiles, tile{vStart: uint32(rangeStart), vEnd: uint32(endExclusive)})
+		}
+		rangeStart = endExclusive
+		rangeWork = 0
+	}
+	for v := 0; v < n; v++ {
+		d := lg.HE.Degree(uint32(v))
+		if d > opt.TileThreshold {
+			flush(v)
+			rangeStart = v + 1
+			for k := 0; k < p; k++ {
+				var lo, hi uint32
+				switch opt.Partitioner {
+				case SquaredEdgeTiling:
+					lo = uint32(float64(d) * sqrtF[k])
+					hi = uint32(float64(d) * sqrtF[k+1])
+				case EdgeBalanced:
+					lo = uint32(d * k / p)
+					hi = uint32(d * (k + 1) / p)
+				}
+				if k == p-1 {
+					hi = uint32(d)
+				}
+				if hi > lo {
+					tiles = append(tiles, tile{vStart: uint32(v), lo: lo, hi: hi})
+				}
+			}
+			continue
+		}
+		rangeWork += uint64(d) * uint64(d-1) / 2
+		if rangeWork >= budget {
+			flush(v + 1)
+		}
+	}
+	flush(n)
+	return tiles
+}
+
+// Phase1TileWork returns the pair-work (number of H2H probes) of
+// every phase-1 tile the given options would produce. The Table 9
+// experiment feeds this into a list-scheduling simulation to compute
+// idle time at arbitrary thread counts, independent of the physical
+// core count of the host.
+func (lg *LotusGraph) Phase1TileWork(opt CountOptions, workers int) []uint64 {
+	if opt.TileThreshold <= 0 {
+		opt.TileThreshold = DefaultTileThreshold
+	}
+	if opt.TilesPerVertex <= 0 {
+		opt.TilesPerVertex = 2 * workers
+	}
+	tiles := lg.phase1Tiles(opt, workers)
+	work := make([]uint64, len(tiles))
+	for i, t := range tiles {
+		if t.vEnd > 0 {
+			var sum uint64
+			for v := t.vStart; v < t.vEnd; v++ {
+				d := uint64(lg.HE.Degree(v))
+				sum += d * (d - 1) / 2
+			}
+			work[i] = sum
+		} else {
+			lo, hi := uint64(t.lo), uint64(t.hi)
+			// Pair work of h1 index i is i; sum over [lo, hi).
+			work[i] = (hi*(hi-1) - lo*(lo-1)) / 2
+		}
+	}
+	return work
+}
+
+// countPhase1 counts HHH and HHN triangles (Alg 3 lines 2-6): for
+// every vertex, every pair (h1, h2) of its hub neighbours is probed
+// in the H2H bit array. Random accesses touch only H2H (§4.5).
+func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Result) sched.LoadReport {
+	tiles := lg.phase1Tiles(opt, pool.Workers())
+	hhh := sched.NewAccumulator(pool.Workers())
+	hhn := sched.NewAccumulator(pool.Workers())
+
+	processPairs := func(v uint32, lo, hi uint32) (found uint64) {
+		nv := lg.HE.Neighbors(v)
+		for i := int(lo); i < int(hi); i++ {
+			h1 := uint32(nv[i])
+			// The h1(h1-1)/2 base is computed once per h1 and the
+			// row is scanned for consecutive h2 (§4.4.1).
+			row := lg.H2H.Row(h1)
+			for j := 0; j < i; j++ {
+				if row.IsSet(uint32(nv[j])) {
+					found++
+				}
+			}
+		}
+		return found
+	}
+
+	runTasks := pool.RunTasks
+	if opt.WorkStealing {
+		runTasks = sched.NewStealingPool(pool.Workers()).RunTasks
+	}
+	report := runTasks(len(tiles), func(worker, ti int) {
+		t := tiles[ti]
+		var localHHH, localHHN uint64
+		if t.vEnd > 0 { // vertex-range tile
+			for v := t.vStart; v < t.vEnd; v++ {
+				d := lg.HE.Degree(v)
+				if d < 2 {
+					continue
+				}
+				found := processPairs(v, 1, uint32(d))
+				if v < lg.HubCount {
+					localHHH += found
+				} else {
+					localHHN += found
+				}
+			}
+		} else { // pair tile of a single high-degree vertex
+			lo := t.lo
+			if lo < 1 {
+				lo = 1
+			}
+			found := processPairs(t.vStart, lo, t.hi)
+			if t.vStart < lg.HubCount {
+				localHHH += found
+			} else {
+				localHHN += found
+			}
+		}
+		hhh.Add(worker, localHHH)
+		hhn.Add(worker, localHHN)
+	})
+	res.HHH = hhh.Sum()
+	res.HHN = hhn.Sum()
+	return report
+}
+
+// countHNN counts HNN triangles (Alg 3 lines 7-9): for every non-hub
+// v and non-hub neighbour u, the common hub neighbours |HE.N_v ∩
+// HE.N_u| each close a triangle. Random accesses touch only HE rows,
+// 2 bytes per edge (§4.5, Table 2).
+func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result) sched.LoadReport {
+	n := lg.numVertices
+	acc := sched.NewAccumulator(pool.Workers())
+	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
+		var local uint64
+		for v := start; v < end; v++ {
+			hv := lg.HE.Neighbors(uint32(v))
+			if len(hv) == 0 {
+				continue
+			}
+			for _, u := range lg.NHE.Neighbors(uint32(v)) {
+				local += intersect.Merge16(hv, lg.HE.Neighbors(u))
+			}
+		}
+		acc.Add(worker, local)
+	})
+	res.HNN = acc.Sum()
+	return rep
+}
+
+// countHNNBlocked is countHNN with the §7 blocking strategy: the
+// non-hub ID space is cut into `blocks` contiguous ranges, and each
+// range gets its own NHE traversal that intersects only with
+// neighbours u inside the range, confining the random HE.N_u loads
+// of a pass to that range's rows. NHE neighbour lists are sorted, so
+// each pass visits a contiguous sub-list located by binary search.
+func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int) sched.LoadReport {
+	n := lg.numVertices
+	hub := int(lg.HubCount)
+	nonHubs := n - hub
+	if nonHubs <= 0 {
+		res.HNN = 0
+		return sched.LoadReport{}
+	}
+	acc := sched.NewAccumulator(pool.Workers())
+	var total sched.LoadReport
+	for b := 0; b < blocks; b++ {
+		lo := uint32(hub + b*nonHubs/blocks)
+		hi := uint32(hub + (b+1)*nonHubs/blocks)
+		rep := pool.ForTimed(n, 0, func(worker, start, end int) {
+			var local uint64
+			for v := start; v < end; v++ {
+				hv := lg.HE.Neighbors(uint32(v))
+				if len(hv) == 0 {
+					continue
+				}
+				nhe := lg.NHE.Neighbors(uint32(v))
+				// Sub-list of neighbours inside [lo, hi).
+				a := sort.Search(len(nhe), func(i int) bool { return nhe[i] >= lo })
+				bnd := sort.Search(len(nhe), func(i int) bool { return nhe[i] >= hi })
+				for _, u := range nhe[a:bnd] {
+					local += intersect.Merge16(hv, lg.HE.Neighbors(u))
+				}
+			}
+			acc.Add(worker, local)
+		})
+		total.Wall += rep.Wall
+		if total.Busy == nil {
+			total.Busy = append([]time.Duration(nil), rep.Busy...)
+		} else {
+			for i := range rep.Busy {
+				total.Busy[i] += rep.Busy[i]
+			}
+		}
+	}
+	res.HNN = acc.Sum()
+	return total
+}
+
+// countNNN counts NNN triangles (Alg 3 lines 10-12): the Forward
+// algorithm restricted to the NHE sub-graph, with merge join
+// (§4.4.3). Hub edges are never touched — the §3.3 pruning.
+func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result) sched.LoadReport {
+	n := lg.numVertices
+	acc := sched.NewAccumulator(pool.Workers())
+	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
+		var local uint64
+		for v := start; v < end; v++ {
+			nv := lg.NHE.Neighbors(uint32(v))
+			if len(nv) < 1 {
+				continue
+			}
+			for _, u := range nv {
+				local += intersect.Merge(nv, lg.NHE.Neighbors(u))
+			}
+		}
+		acc.Add(worker, local)
+	})
+	res.NNN = acc.Sum()
+	return rep
+}
+
+// countFused runs the HNN and NNN intersections inside one traversal
+// of NHE — the loop fusion §4.5 rejects because it enlarges the
+// working set of randomly accessed data. Kept for the ablation bench.
+func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result) sched.LoadReport {
+	n := lg.numVertices
+	hnn := sched.NewAccumulator(pool.Workers())
+	nnn := sched.NewAccumulator(pool.Workers())
+	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
+		var localHNN, localNNN uint64
+		for v := start; v < end; v++ {
+			nv := lg.NHE.Neighbors(uint32(v))
+			hv := lg.HE.Neighbors(uint32(v))
+			for _, u := range nv {
+				if len(hv) > 0 {
+					localHNN += intersect.Merge16(hv, lg.HE.Neighbors(u))
+				}
+				localNNN += intersect.Merge(nv, lg.NHE.Neighbors(u))
+			}
+		}
+		hnn.Add(worker, localHNN)
+		nnn.Add(worker, localNNN)
+	})
+	res.HNN = hnn.Sum()
+	res.NNN = nnn.Sum()
+	return rep
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lotustc/internal/gen"
+)
+
+// FuzzReadLotusGraph ensures the LotusGraph loader neither panics nor
+// over-allocates on arbitrary bytes, and that anything it accepts
+// passes structural validation (ReadLotusGraph validates internally,
+// so acceptance implies a usable structure).
+func FuzzReadLotusGraph(f *testing.F) {
+	var buf bytes.Buffer
+	lg := Preprocess(gen.Complete(8), Options{HubCount: 3})
+	if err := lg.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("LOTS"))
+	f.Add([]byte{})
+	truncated := buf.Bytes()[:buf.Len()/2]
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lg, err := ReadLotusGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted structures must count without panicking and obey
+		// the class-sum invariant.
+		res := lg.Count(nil)
+		if res.HHH+res.HHN+res.HNN+res.NNN != res.Total {
+			t.Fatal("class sum violated on accepted structure")
+		}
+	})
+}

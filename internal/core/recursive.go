@@ -1,0 +1,88 @@
+package core
+
+import (
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+// NonHubSubgraph extracts the symmetric sub-graph induced by the
+// non-hub vertices (the NNN domain), with non-hub v mapped to
+// v - HubCount. It is the input to one recursive LOTUS split
+// (§5.5 category 1 / §7 future work: "recursively applying Lotus and
+// splitting the NHE sub-graph further").
+func (lg *LotusGraph) NonHubSubgraph() *graph.Graph {
+	n := lg.numVertices
+	hub := int(lg.HubCount)
+	sub := n - hub
+	if sub <= 0 {
+		return graph.FromEdges(nil, graph.BuildOptions{})
+	}
+	edges := make([]graph.Edge, 0, lg.NHE.NumEdges())
+	for v := hub; v < n; v++ {
+		for _, u := range lg.NHE.Neighbors(uint32(v)) {
+			edges = append(edges, graph.Edge{U: u - uint32(hub), V: uint32(v) - uint32(hub)})
+		}
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: sub})
+}
+
+// RecursiveResult aggregates a multi-level recursive LOTUS count.
+type RecursiveResult struct {
+	// Levels holds the per-level results; level i's NNN count is
+	// superseded by level i+1's total (the deepest level's NNN is
+	// counted directly).
+	Levels []*Result
+	// Total is the overall triangle count.
+	Total uint64
+	// Depth is the number of LOTUS splits performed (>= 1).
+	Depth int
+}
+
+// RecursiveOptions tune CountRecursive.
+type RecursiveOptions struct {
+	Options
+	Count CountOptions
+	// MaxDepth bounds the number of LOTUS splits (>= 1; default 2).
+	MaxDepth int
+	// MinVertices stops recursion when the non-hub sub-graph is
+	// smaller than this (default 4 × hub count of that level).
+	MinVertices int
+}
+
+// CountRecursive applies LOTUS recursively: each level counts its
+// HHH/HHN/HNN triangles, then the non-hub sub-graph is re-split with
+// a fresh hub set instead of running the flat NNN phase. The paper
+// proposes this for "social networks with a great number of
+// low-degree hubs" (§5.5).
+func CountRecursive(g *graph.Graph, pool *sched.Pool, opt RecursiveOptions) *RecursiveResult {
+	if pool == nil {
+		pool = sched.NewPool(0)
+	}
+	if opt.MaxDepth < 1 {
+		opt.MaxDepth = 2
+	}
+	rr := &RecursiveResult{}
+	cur := g
+	for {
+		lg := Preprocess(cur, opt.Options)
+		last := rr.Depth+1 >= opt.MaxDepth || tooSmall(lg, opt.MinVertices)
+		copt := opt.Count
+		copt.SkipNNN = !last
+		res := lg.CountWithOptions(pool, copt)
+		rr.Levels = append(rr.Levels, res)
+		rr.Depth++
+		rr.Total += res.HHH + res.HHN + res.HNN
+		if last {
+			rr.Total += res.NNN
+			return rr
+		}
+		cur = lg.NonHubSubgraph()
+	}
+}
+
+func tooSmall(lg *LotusGraph, minVertices int) bool {
+	if minVertices <= 0 {
+		minVertices = 4 * int(lg.HubCount)
+	}
+	return lg.numVertices-int(lg.HubCount) < minVertices
+}

@@ -1,0 +1,381 @@
+// Package gen produces deterministic synthetic graphs that stand in
+// for the paper's real-world datasets (DESIGN.md, substitution table).
+//
+// Two families matter for LOTUS:
+//
+//   - Skewed (power-law) graphs — R-MAT/Kronecker and Chung–Lu — where
+//     a small hub set covers most edges and the hub sub-graph is
+//     dense. These are the social-network / web-graph analogs on which
+//     LOTUS is designed to win.
+//   - Flat graphs — Erdős–Rényi and capped-degree Chung–Lu — which
+//     reproduce the paper's §5.5 "less power-law" regime (Friendster).
+//
+// All generators are seeded and reproducible: the same parameters and
+// seed always produce the same graph.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"lotustc/internal/graph"
+)
+
+// RMATParams configure the recursive-matrix (Kronecker) generator.
+// The defaults follow the Graph500 convention (a=0.57, b=c=0.19,
+// d=0.05), which produces a heavy-tailed degree distribution similar
+// to the Twitter-family datasets of the paper.
+type RMATParams struct {
+	Scale      uint    // |V| = 2^Scale
+	EdgeFactor int     // |E| ~= EdgeFactor * |V| before dedup
+	A, B, C    float64 // quadrant probabilities; D = 1-A-B-C
+	Seed       int64
+	// NoiseEach perturbs the quadrant probabilities per level
+	// (Graph500-style smoothing) to avoid exact self-similarity.
+	Noise float64
+}
+
+// DefaultRMAT returns Graph500-style parameters at the given scale.
+func DefaultRMAT(scale uint, edgeFactor int, seed int64) RMATParams {
+	return RMATParams{Scale: scale, EdgeFactor: edgeFactor, A: 0.57, B: 0.19, C: 0.19, Seed: seed, Noise: 0.05}
+}
+
+// RMAT generates a symmetric simple graph with 2^Scale vertices by the
+// R-MAT recursive quadrant process.
+func RMAT(p RMATParams) *graph.Graph {
+	if p.A == 0 && p.B == 0 && p.C == 0 {
+		p.A, p.B, p.C = 0.57, 0.19, 0.19
+	}
+	n := 1 << p.Scale
+	m := p.EdgeFactor * n
+	rng := rand.New(rand.NewSource(p.Seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := rmatEdge(rng, p)
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+}
+
+func rmatEdge(rng *rand.Rand, p RMATParams) (uint32, uint32) {
+	var u, v uint32
+	a, b, c := p.A, p.B, p.C
+	for lvl := uint(0); lvl < p.Scale; lvl++ {
+		aa, bb, cc := a, b, c
+		if p.Noise > 0 {
+			aa *= 1 + p.Noise*(rng.Float64()*2-1)
+			bb *= 1 + p.Noise*(rng.Float64()*2-1)
+			cc *= 1 + p.Noise*(rng.Float64()*2-1)
+			sum := aa + bb + cc + (1 - a - b - c)
+			aa, bb, cc = aa/sum, bb/sum, cc/sum
+		}
+		r := rng.Float64()
+		u <<= 1
+		v <<= 1
+		switch {
+		case r < aa:
+			// quadrant (0,0)
+		case r < aa+bb:
+			v |= 1
+		case r < aa+bb+cc:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return u, v
+}
+
+// ChungLuParams configure the Chung–Lu expected-degree generator with
+// a Zipf-like weight sequence w_i = wMax * (i+1)^(-1/(gamma-1)),
+// giving a power-law degree distribution with exponent gamma.
+type ChungLuParams struct {
+	N     int     // number of vertices
+	M     int     // target number of edge samples before dedup
+	Gamma float64 // power-law exponent (2 < gamma < 3 for real graphs)
+	// MaxDegreeCap truncates the weight sequence, flattening the
+	// distribution; use it to model the §5.5 "low skewness, highest
+	// degree 5K" Friendster regime. Zero means uncapped.
+	MaxDegreeCap float64
+	Seed         int64
+}
+
+// ChungLu samples M edges proportionally to w_u*w_v and returns the
+// deduplicated simple graph. Sampling uses the standard alias-free
+// inverse-CDF over the weight prefix sums.
+func ChungLu(p ChungLuParams) *graph.Graph {
+	if p.Gamma <= 1 {
+		p.Gamma = 2.3
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := make([]float64, p.N)
+	exp := 1 / (p.Gamma - 1)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -exp)
+		if p.MaxDegreeCap > 0 && w[i] > p.MaxDegreeCap {
+			w[i] = p.MaxDegreeCap
+		}
+	}
+	// Prefix sums for inverse-CDF sampling.
+	cdf := make([]float64, p.N+1)
+	for i, x := range w {
+		cdf[i+1] = cdf[i] + x
+	}
+	total := cdf[p.N]
+	sample := func() uint32 {
+		x := rng.Float64() * total
+		lo, hi := 0, p.N
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint32(lo)
+	}
+	edges := make([]graph.Edge, 0, p.M)
+	for i := 0; i < p.M; i++ {
+		edges = append(edges, graph.Edge{U: sample(), V: sample()})
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: p.N})
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: starting
+// from a small seed clique, each new vertex attaches to m existing
+// vertices chosen proportionally to their degree. The result is the
+// classic scale-free model (gamma ≈ 3) with organically emerging
+// hubs — a structurally different power-law source than R-MAT's
+// recursive quadrants, useful for robustness checks.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// targets holds one entry per edge endpoint, so uniform sampling
+	// from it is degree-proportional sampling.
+	var targets []uint32
+	var edges []graph.Edge
+	// Seed: (m+1)-clique.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+			targets = append(targets, uint32(u), uint32(v))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[uint32]bool{}
+		for len(chosen) < m {
+			u := targets[rng.Intn(len(targets))]
+			chosen[u] = true
+		}
+		for u := range chosen {
+			edges = append(edges, graph.Edge{U: u, V: uint32(v)})
+			targets = append(targets, u, uint32(v))
+		}
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// ErdosRenyi generates a G(n, m)-style graph by sampling m uniform
+// edges (with dedup), the maximally "non-power-law" baseline.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// SBMParams configure the stochastic block model (planted-partition)
+// generator: k communities of n/k vertices, with edge probability
+// pIn inside a community and pOut across communities. High pIn/pOut
+// ratios produce the community structure that gives real social
+// networks their high triangle density.
+type SBMParams struct {
+	N, K      int
+	PIn, POut float64
+	Seed      int64
+}
+
+// SBM samples a stochastic block model graph. Edge sampling is
+// O(expected edges) via geometric skipping.
+func SBM(p SBMParams) *graph.Graph {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var edges []graph.Edge
+	community := func(v int) int { return v * p.K / p.N }
+	// Geometric skipping over the upper triangle: iterate potential
+	// pairs (u,v), u<v, skipping ahead by Geom(prob) each time.
+	sample := func(prob float64, emit func(idx int64), total int64) {
+		if prob <= 0 {
+			return
+		}
+		if prob >= 1 {
+			for i := int64(0); i < total; i++ {
+				emit(i)
+			}
+			return
+		}
+		idx := int64(-1)
+		for {
+			// Skip ~ Geometric(prob).
+			skip := int64(math.Floor(math.Log(1-rng.Float64())/math.Log(1-prob))) + 1
+			idx += skip
+			if idx >= total {
+				return
+			}
+			emit(idx)
+		}
+	}
+	// Enumerate pairs as a flat index over the upper triangle.
+	total := int64(p.N) * int64(p.N-1) / 2
+	pairOf := func(idx int64) (int, int) {
+		// Row-major upper triangle: find u with binary search.
+		lo, hi := 0, p.N-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			// Pairs before row mid+1: sum_{r<=mid} (N-1-r)
+			before := int64(mid+1)*int64(p.N-1) - int64(mid+1)*int64(mid)/2
+			if before <= idx {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		u := lo
+		before := int64(u)*int64(p.N-1) - int64(u)*int64(u-1)/2
+		v := u + 1 + int(idx-before)
+		return u, v
+	}
+	// Two passes: one at pOut over all pairs (then filter to
+	// cross-community), one at the boosted rate for in-community
+	// pairs. For simplicity and exactness, sample at pOut globally
+	// and add the in-community excess (pIn-pOut)/(1-pOut) on a second
+	// pass; duplicates collapse in the builder.
+	sample(p.POut, func(idx int64) {
+		u, v := pairOf(idx)
+		edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+	}, total)
+	if p.PIn > p.POut {
+		excess := (p.PIn - p.POut) / (1 - p.POut)
+		sample(excess, func(idx int64) {
+			u, v := pairOf(idx)
+			if community(u) == community(v) {
+				edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+			}
+		}, total)
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: p.N})
+}
+
+// Complete returns K_n; it contains C(n,3) triangles and is the
+// worst-case dense input for the hub phase.
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// Star returns a star with center 0 and n-1 leaves: zero triangles
+// with an extreme hub.
+func Star(n int) *graph.Graph {
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(v)})
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// Ring returns the n-cycle: zero triangles for n > 3, one for n == 3.
+func Ring(n int) *graph.Graph {
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{U: uint32(v), V: uint32((v + 1) % n)})
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// Path returns the n-vertex path graph: zero triangles.
+func Path(n int) *graph.Graph {
+	var edges []graph.Edge
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, graph.Edge{U: uint32(v), V: uint32(v + 1)})
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+}
+
+// Grid returns the rows x cols 2-D lattice: zero triangles, good
+// spatial locality — the opposite structural extreme from R-MAT.
+func Grid(rows, cols int) *graph.Graph {
+	var edges []graph.Edge
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: rows * cols})
+}
+
+// CompleteBipartite returns K_{a,b}, a triangle-free graph with two
+// fully-connected hub-like sides; every neighbour-list intersection in
+// it is fruitless, stressing the §3.3 pruning analysis.
+func CompleteBipartite(a, b int) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(a + v)})
+		}
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: a + b})
+}
+
+// PlantedTriangles builds a sparse graph of t disjoint triangles plus
+// isolated padding vertices, for exact-count tests: it has exactly t
+// triangles.
+func PlantedTriangles(t, padding int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < t; i++ {
+		a, b, c := uint32(3*i), uint32(3*i+1), uint32(3*i+2)
+		edges = append(edges, graph.Edge{U: a, V: b}, graph.Edge{U: b, V: c}, graph.Edge{U: a, V: c})
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: 3*t + padding})
+}
+
+// HubAndSpokes builds the paper's motivating structure explicitly:
+// nHubs mutually connected hubs (a clique) plus nLeaves non-hubs, each
+// attached to `attach` distinct hubs. Every leaf contributes
+// C(attach,2) HHN triangles; the clique contributes C(nHubs,3) HHH
+// triangles; there are no HNN or NNN triangles.
+func HubAndSpokes(nHubs, nLeaves, attach int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for u := 0; u < nHubs; u++ {
+		for v := u + 1; v < nHubs; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	for l := 0; l < nLeaves; l++ {
+		leaf := uint32(nHubs + l)
+		perm := rng.Perm(nHubs)
+		for i := 0; i < attach && i < nHubs; i++ {
+			edges = append(edges, graph.Edge{U: leaf, V: uint32(perm[i])})
+		}
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: nHubs + nLeaves})
+}

@@ -1,0 +1,244 @@
+package gen
+
+import (
+	"testing"
+
+	"lotustc/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	p := DefaultRMAT(10, 8, 42)
+	g1 := RMAT(p)
+	g2 := RMAT(p)
+	if g1.NumEdges() != g2.NumEdges() || g1.NumVertices() != g2.NumVertices() {
+		t.Fatal("RMAT not deterministic for same seed")
+	}
+	g3 := RMAT(DefaultRMAT(10, 8, 43))
+	if g3.NumEdges() == g1.NumEdges() && equalGraphs(g1, g3) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func equalGraphs(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumDirectedEdges() != b.NumDirectedEdges() {
+		return false
+	}
+	an, bn := a.RawNeighbors(), b.RawNeighbors()
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRMATValidAndSkewed(t *testing.T) {
+	g := RMAT(DefaultRMAT(12, 8, 1))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("V = %d, want %d", g.NumVertices(), 1<<12)
+	}
+	er := ErdosRenyi(1<<12, 8<<12, 1)
+	if gr, ge := g.GiniOfDegrees(), er.GiniOfDegrees(); gr <= ge {
+		t.Fatalf("RMAT Gini %.3f should exceed ER Gini %.3f", gr, ge)
+	}
+}
+
+func TestChungLuSkewControl(t *testing.T) {
+	steep := ChungLu(ChungLuParams{N: 4096, M: 32768, Gamma: 2.1, Seed: 7})
+	flat := ChungLu(ChungLuParams{N: 4096, M: 32768, Gamma: 2.9, Seed: 7})
+	if err := steep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gs, gf := steep.GiniOfDegrees(), flat.GiniOfDegrees(); gs <= gf {
+		t.Fatalf("gamma=2.1 Gini %.3f should exceed gamma=2.9 Gini %.3f", gs, gf)
+	}
+	capped := ChungLu(ChungLuParams{N: 4096, M: 32768, Gamma: 2.1, MaxDegreeCap: 0.05, Seed: 7})
+	if gc := capped.GiniOfDegrees(); gc >= steep.GiniOfDegrees() {
+		t.Fatalf("degree cap should flatten distribution: capped %.3f vs %.3f", gc, steep.GiniOfDegrees())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(2000, 4, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	// Each of the 2000-5 grown vertices adds exactly 4 edges; seed
+	// clique adds C(5,2)=10.
+	want := int64(10 + (2000-5)*4)
+	if g.NumEdges() != want {
+		t.Fatalf("E = %d, want %d", g.NumEdges(), want)
+	}
+	// Preferential attachment must produce hubs: skew far above ER.
+	er := ErdosRenyi(2000, int(want), 7)
+	if g.GiniOfDegrees() <= er.GiniOfDegrees() {
+		t.Fatalf("BA Gini %.3f <= ER %.3f", g.GiniOfDegrees(), er.GiniOfDegrees())
+	}
+	// Degenerate parameters clamp instead of panicking.
+	small := BarabasiAlbert(1, 0, 1)
+	if small.NumVertices() < 2 {
+		t.Fatal("clamp failed")
+	}
+}
+
+func TestSBM(t *testing.T) {
+	p := SBMParams{N: 600, K: 6, PIn: 0.2, POut: 0.002, Seed: 9}
+	g := SBM(p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 600 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	// Expected edges: within = 6*C(100,2)*0.2 ≈ 5940;
+	// across = (C(600,2)-6*C(100,2))*0.002 ≈ 300. Allow wide slack.
+	e := g.NumEdges()
+	if e < 4500 || e > 8000 {
+		t.Fatalf("E = %d outside expected band", e)
+	}
+	// Count in/out edges: the planted structure must dominate.
+	community := func(v uint32) int { return int(v) * p.K / p.N }
+	var in, out int
+	for _, edge := range g.Edges() {
+		if community(edge.U) == community(edge.V) {
+			in++
+		} else {
+			out++
+		}
+	}
+	if in < 10*out {
+		t.Fatalf("weak community structure: %d in vs %d out", in, out)
+	}
+	// Community structure means high transitivity vs an ER graph of
+	// equal size.
+	er := ErdosRenyi(600, int(e), 9)
+	gTri := countRef(g)
+	erTri := countRef(er)
+	if gTri <= erTri {
+		t.Fatalf("SBM triangles %d <= ER %d", gTri, erTri)
+	}
+	// Degenerate probabilities.
+	if SBM(SBMParams{N: 10, K: 2, PIn: 0, POut: 0, Seed: 1}).NumEdges() != 0 {
+		t.Fatal("zero-probability SBM has edges")
+	}
+	full := SBM(SBMParams{N: 12, K: 3, PIn: 1, POut: 1, Seed: 1})
+	if full.NumEdges() != 66 {
+		t.Fatalf("p=1 SBM should be K12, got %d edges", full.NumEdges())
+	}
+}
+
+// countRef is a tiny oracle for generator tests.
+func countRef(g *graph.Graph) uint64 {
+	var n uint64
+	for v := 0; v < g.NumVertices(); v++ {
+		nv := g.Neighbors(uint32(v))
+		for i := 0; i < len(nv); i++ {
+			if nv[i] >= uint32(v) {
+				break
+			}
+			for j := i + 1; j < len(nv); j++ {
+				if nv[j] >= uint32(v) {
+					break
+				}
+				if g.HasEdge(nv[i], nv[j]) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 5000 {
+		t.Fatalf("unexpected |E| = %d", g.NumEdges())
+	}
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		v      int
+		e      int64
+		maxDeg int
+	}{
+		{"K5", Complete(5), 5, 10, 4},
+		{"Star10", Star(10), 10, 9, 9},
+		{"Ring8", Ring(8), 8, 8, 2},
+		{"Path6", Path(6), 6, 5, 2},
+		{"Grid3x4", Grid(3, 4), 12, 17, 4},
+		{"K23", CompleteBipartite(2, 3), 5, 6, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if c.g.NumVertices() != c.v {
+				t.Errorf("V = %d, want %d", c.g.NumVertices(), c.v)
+			}
+			if c.g.NumEdges() != c.e {
+				t.Errorf("E = %d, want %d", c.g.NumEdges(), c.e)
+			}
+			if c.g.MaxDegree() != c.maxDeg {
+				t.Errorf("maxDeg = %d, want %d", c.g.MaxDegree(), c.maxDeg)
+			}
+		})
+	}
+}
+
+func TestPlantedTriangles(t *testing.T) {
+	g := PlantedTriangles(7, 5)
+	if g.NumVertices() != 26 {
+		t.Fatalf("V = %d, want 26", g.NumVertices())
+	}
+	if g.NumEdges() != 21 {
+		t.Fatalf("E = %d, want 21", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubAndSpokes(t *testing.T) {
+	g := HubAndSpokes(8, 100, 3, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Hubs form K8; each leaf attaches to exactly 3 distinct hubs.
+	wantE := int64(8*7/2 + 100*3)
+	if g.NumEdges() != wantE {
+		t.Fatalf("E = %d, want %d", g.NumEdges(), wantE)
+	}
+	for l := 8; l < 108; l++ {
+		if g.Degree(uint32(l)) != 3 {
+			t.Fatalf("leaf %d degree = %d, want 3", l, g.Degree(uint32(l)))
+		}
+	}
+}
+
+func TestRingTriangleFree(t *testing.T) {
+	// Rings of length > 3 contain no triangles: no common neighbours
+	// between adjacent vertices.
+	g := Ring(10)
+	for v := uint32(0); v < 10; v++ {
+		for _, u := range g.Neighbors(v) {
+			for _, w := range g.Neighbors(v) {
+				if w != u && g.HasEdge(u, w) {
+					t.Fatalf("ring contains triangle (%d,%d,%d)", v, u, w)
+				}
+			}
+		}
+	}
+}

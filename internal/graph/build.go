@@ -1,0 +1,101 @@
+package graph
+
+import "slices"
+
+// BuildOptions control how FromEdges normalizes a raw edge list.
+type BuildOptions struct {
+	// KeepSelfLoops retains self edges. LOTUS preprocessing skips
+	// self-edges (Alg 2 line 11-12); the default removes them at
+	// build time so every algorithm sees the same simple graph.
+	KeepSelfLoops bool
+	// NumVertices pins |V|. When zero, |V| is 1 + the maximum vertex
+	// ID appearing in the edge list (or 0 for an empty list).
+	NumVertices int
+}
+
+// FromEdges builds a symmetric, deduplicated, sorted CSX graph from an
+// arbitrary undirected edge list. Both directions of every edge are
+// materialized, parallel edges collapse to one, and self loops are
+// dropped unless KeepSelfLoops is set.
+func FromEdges(edges []Edge, opt BuildOptions) *Graph {
+	n := opt.NumVertices
+	for _, e := range edges {
+		if int(e.U)+1 > n {
+			n = int(e.U) + 1
+		}
+		if int(e.V)+1 > n {
+			n = int(e.V) + 1
+		}
+	}
+
+	// Count both directions per endpoint.
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			if !opt.KeepSelfLoops {
+				continue
+			}
+			deg[e.U+1]++
+			continue
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	offsets := deg
+	fill := make([]int64, n)
+	copy(fill, offsets[:n])
+	nbrs := make([]uint32, offsets[n])
+	push := func(v, u uint32) {
+		nbrs[fill[v]] = u
+		fill[v]++
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			if opt.KeepSelfLoops {
+				push(e.U, e.V)
+			}
+			continue
+		}
+		push(e.U, e.V)
+		push(e.V, e.U)
+	}
+
+	// Sort each adjacency list and deduplicate in place.
+	outOff := make([]int64, n+1)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		seg := nbrs[lo:hi]
+		slices.Sort(seg)
+		start := w
+		for i, u := range seg {
+			if i > 0 && seg[i-1] == u {
+				continue
+			}
+			nbrs[w] = u
+			w++
+		}
+		outOff[v] = start
+	}
+	outOff[n] = w
+	// outOff currently holds start positions; convert to CSX offsets.
+	off := make([]int64, n+1)
+	copy(off, outOff)
+	return &Graph{offsets: off, nbrs: nbrs[:w:w]}
+}
+
+// FromAdjacency builds a graph from explicit adjacency lists, used by
+// tests to author small graphs directly. The lists are interpreted as
+// undirected edges: every (v,u) mentioned is symmetrized.
+func FromAdjacency(adj [][]uint32) *Graph {
+	var edges []Edge
+	for v, nb := range adj {
+		for _, u := range nb {
+			edges = append(edges, Edge{U: uint32(v), V: u})
+		}
+	}
+	return FromEdges(edges, BuildOptions{NumVertices: len(adj)})
+}

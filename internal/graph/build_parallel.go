@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"lotustc/internal/sched"
+)
+
+// FromEdgesParallel is FromEdges with the three heavy passes —
+// degree counting, slot filling and per-list sort+dedup —
+// parallelized over a pool. It produces a graph byte-identical to
+// FromEdges (tests enforce it); use it when ingesting edge lists on
+// the hot path (the generators at harness scale spend most of their
+// time here).
+func FromEdgesParallel(edges []Edge, opt BuildOptions, pool *sched.Pool) *Graph {
+	if pool == nil {
+		pool = sched.NewPool(0)
+	}
+	n := opt.NumVertices
+	for _, e := range edges {
+		if int(e.U)+1 > n {
+			n = int(e.U) + 1
+		}
+		if int(e.V)+1 > n {
+			n = int(e.V) + 1
+		}
+	}
+
+	// Pass 1: per-endpoint degree counts (atomic adds; contention is
+	// spread across the whole array).
+	deg := make([]int64, n+1)
+	pool.For(len(edges), 0, func(_, start, end int) {
+		for _, e := range edges[start:end] {
+			if e.U == e.V {
+				if !opt.KeepSelfLoops {
+					continue
+				}
+				atomic.AddInt64(&deg[e.U+1], 1)
+				continue
+			}
+			atomic.AddInt64(&deg[e.U+1], 1)
+			atomic.AddInt64(&deg[e.V+1], 1)
+		}
+	})
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	offsets := deg
+
+	// Pass 2: fill slots, claiming positions with atomic increments.
+	fill := make([]int64, n)
+	copy(fill, offsets[:n])
+	nbrs := make([]uint32, offsets[n])
+	push := func(v, u uint32) {
+		slot := atomic.AddInt64(&fill[v], 1) - 1
+		nbrs[slot] = u
+	}
+	pool.For(len(edges), 0, func(_, start, end int) {
+		for _, e := range edges[start:end] {
+			if e.U == e.V {
+				if opt.KeepSelfLoops {
+					push(e.U, e.V)
+				}
+				continue
+			}
+			push(e.U, e.V)
+			push(e.V, e.U)
+		}
+	})
+
+	// Pass 3: sort and dedup each list in parallel, writing the kept
+	// prefix length per vertex.
+	kept := make([]int64, n)
+	pool.For(n, 0, func(_, start, end int) {
+		for v := start; v < end; v++ {
+			seg := nbrs[offsets[v]:offsets[v+1]]
+			slices.Sort(seg)
+			w := 0
+			for i, u := range seg {
+				if i > 0 && seg[i-1] == u {
+					continue
+				}
+				seg[w] = u
+				w++
+			}
+			kept[v] = int64(w)
+		}
+	})
+
+	// Compact the deduplicated lists (sequential scan; cheap).
+	outOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		outOff[v+1] = outOff[v] + kept[v]
+	}
+	out := make([]uint32, outOff[n])
+	pool.For(n, 0, func(_, start, end int) {
+		for v := start; v < end; v++ {
+			copy(out[outOff[v]:outOff[v+1]], nbrs[offsets[v]:offsets[v]+kept[v]])
+		}
+	})
+	return &Graph{offsets: outOff, nbrs: out}
+}

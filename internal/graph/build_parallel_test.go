@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lotustc/internal/sched"
+)
+
+var buildPool = sched.NewPool(4)
+
+func TestFromEdgesParallelMatchesSequential(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		var edges []Edge
+		for i := 0; i < rng.Intn(8*n); i++ {
+			edges = append(edges, Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+		}
+		keep := rng.Intn(2) == 0
+		opt := BuildOptions{NumVertices: n, KeepSelfLoops: keep}
+		a := FromEdges(edges, opt)
+		b := FromEdgesParallel(edges, opt, buildPool)
+		return reflect.DeepEqual(a.Offsets(), b.Offsets()) &&
+			reflect.DeepEqual(a.RawNeighbors(), b.RawNeighbors())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesParallelEmptyAndNilPool(t *testing.T) {
+	g := FromEdgesParallel(nil, BuildOptions{NumVertices: 3}, nil)
+	if g.NumVertices() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("empty parallel build: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	g2 := FromEdgesParallel([]Edge{{U: 0, V: 1}}, BuildOptions{}, nil)
+	if g2.NumEdges() != 1 {
+		t.Fatal("nil pool build broken")
+	}
+}
+
+func TestFromEdgesParallelSingleWorker(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 0, V: 1}}
+	a := FromEdges(edges, BuildOptions{})
+	b := FromEdgesParallel(edges, BuildOptions{}, sched.NewPool(1))
+	if !reflect.DeepEqual(a.RawNeighbors(), b.RawNeighbors()) {
+		t.Fatal("single-worker parallel build differs")
+	}
+}
+
+func BenchmarkBuilders(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 14
+	edges := make([]Edge, 8*n)
+	for i := range edges {
+		edges[i] = Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FromEdges(edges, BuildOptions{NumVertices: n})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FromEdgesParallel(edges, BuildOptions{NumVertices: n}, buildPool)
+		}
+	})
+}

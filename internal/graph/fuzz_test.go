@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList ensures the textual parser never panics and that
+// anything it accepts builds a valid graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("# comment\n5 5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a b\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Vertex IDs size the graph (|V| = maxID+1 by design), so cap
+		// them to keep the harness within memory: any digit run
+		// longer than 6 would allocate gigabytes legitimately.
+		run := 0
+		for _, c := range data {
+			if c >= '0' && c <= '9' {
+				run++
+				if run > 6 {
+					return
+				}
+			} else {
+				run = 0
+			}
+		}
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input built invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzReadBinary ensures the binary loader rejects arbitrary bytes
+// gracefully and round-trips anything it accepts.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := FromEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}}, BuildOptions{})
+	_ = g.WriteBinary(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("LOTG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-serialize byte-identically.
+		var out bytes.Buffer
+		if err := g.WriteBinary(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		g2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumDirectedEdges() != g.NumDirectedEdges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzFromEdges ensures the builder normalizes arbitrary edge lists
+// into valid simple graphs.
+func FuzzFromEdges(f *testing.F) {
+	f.Add(uint32(0), uint32(1), uint32(1), uint32(1))
+	f.Add(uint32(7), uint32(7), uint32(3), uint32(0))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint32) {
+		// Bound IDs to keep allocation sane.
+		const mod = 1 << 12
+		g := FromEdges([]Edge{{U: a % mod, V: b % mod}, {U: c % mod, V: d % mod}}, BuildOptions{})
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section on synthetic datasets (DESIGN.md per-experiment
+// index). Each experiment has a Run function that prints the same
+// rows/series the paper reports; cmd/lotus-bench dispatches to them
+// and EXPERIMENTS.md records measured-vs-paper.
+package harness
+
+import (
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+)
+
+// Dataset is one synthetic stand-in for a paper dataset.
+type Dataset struct {
+	// Name labels the dataset in reports.
+	Name string
+	// Kind mirrors the paper's dataset types: SN (social network),
+	// WG (web graph), or FLAT (the §5.5 less-power-law regime).
+	Kind string
+	// Analog names the paper dataset family this stands in for.
+	Analog string
+	// Build generates the graph (deterministic).
+	Build func() *graph.Graph
+}
+
+// Suite scales the dataset sizes. Scale is the R-MAT log2 vertex
+// count; the other generators are sized to match.
+type Suite struct {
+	Scale      uint
+	EdgeFactor int
+}
+
+// DefaultSuite sizes experiments for a laptop-class run (scale-16
+// R-MAT ~= 65K vertices, 1M sampled edges).
+func DefaultSuite() Suite { return Suite{Scale: 16, EdgeFactor: 16} }
+
+// SmallSuite sizes experiments for quick runs and benchmarks.
+func SmallSuite() Suite { return Suite{Scale: 13, EdgeFactor: 12} }
+
+// Datasets returns the evaluation datasets: two social-network
+// analogs (R-MAT at different skew), two web-graph analogs
+// (Chung-Lu, gamma 2.0 and 2.4), and one flat graph reproducing the
+// Friendster regime.
+func (s Suite) Datasets() []Dataset {
+	n := 1 << s.Scale
+	m := s.EdgeFactor * n
+	return []Dataset{
+		{
+			Name: "rmat-sn", Kind: "SN", Analog: "Twitter-family (R-MAT a=0.57)",
+			Build: func() *graph.Graph { return gen.RMAT(gen.DefaultRMAT(s.Scale, s.EdgeFactor, 1)) },
+		},
+		{
+			Name: "rmat-dense", Kind: "SN", Analog: "Twitter 2010 (denser R-MAT)",
+			Build: func() *graph.Graph {
+				p := gen.DefaultRMAT(s.Scale-1, 2*s.EdgeFactor, 2)
+				p.A, p.B, p.C = 0.60, 0.18, 0.18
+				return gen.RMAT(p)
+			},
+		},
+		{
+			Name: "cl-web20", Kind: "WG", Analog: "UK web crawls (Chung-Lu gamma=2.0)",
+			Build: func() *graph.Graph {
+				return gen.ChungLu(gen.ChungLuParams{N: n, M: 2 * m, Gamma: 2.0, Seed: 3})
+			},
+		},
+		{
+			Name: "cl-web24", Kind: "WG", Analog: "SK-Domain (Chung-Lu gamma=2.4)",
+			Build: func() *graph.Graph {
+				return gen.ChungLu(gen.ChungLuParams{N: n, M: 2 * m, Gamma: 2.4, Seed: 4})
+			},
+		},
+		{
+			Name: "cl-flat", Kind: "FLAT", Analog: "Friendster (capped-degree Chung-Lu)",
+			Build: func() *graph.Graph {
+				return gen.ChungLu(gen.ChungLuParams{N: n, M: m, Gamma: 2.6, MaxDegreeCap: 0.002, Seed: 5})
+			},
+		},
+	}
+}

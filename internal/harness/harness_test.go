@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinySuite keeps harness smoke tests fast.
+func tinySuite() Suite { return Suite{Scale: 9, EdgeFactor: 8} }
+
+func TestDatasetsBuildAndValidate(t *testing.T) {
+	s := tinySuite()
+	names := map[string]bool{}
+	for _, d := range s.Datasets() {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset name %s", d.Name)
+		}
+		names[d.Name] = true
+		g := d.Build()
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", d.Name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if d.Kind != "SN" && d.Kind != "WG" && d.Kind != "FLAT" {
+			t.Fatalf("%s: unknown kind %q", d.Name, d.Kind)
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	s := tinySuite()
+	a := s.Datasets()[0].Build()
+	b := s.Datasets()[0].Build()
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("dataset not deterministic")
+	}
+}
+
+func TestFlatDatasetIsFlatter(t *testing.T) {
+	s := Suite{Scale: 11, EdgeFactor: 8}
+	var skewGini, flatGini float64
+	for _, d := range s.Datasets() {
+		g := d.Build()
+		switch d.Name {
+		case "rmat-sn":
+			skewGini = g.GiniOfDegrees()
+		case "cl-flat":
+			flatGini = g.GiniOfDegrees()
+		}
+	}
+	if flatGini >= skewGini {
+		t.Fatalf("cl-flat Gini %.3f >= rmat-sn %.3f; flat regime not reproduced", flatGini, skewGini)
+	}
+}
+
+// runExperiment executes one registry entry and returns its output.
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e := Find(id)
+	if e == nil {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var buf bytes.Buffer
+	e.Run(&buf, tinySuite(), 2)
+	out := buf.String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("%s reported a count mismatch:\n%s", id, out)
+	}
+	if len(out) < 40 {
+		t.Fatalf("%s produced no meaningful output:\n%s", id, out)
+	}
+	return out
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) { runExperiment(t, id) })
+	}
+}
+
+func TestTable5ReportsAllAlgorithms(t *testing.T) {
+	out := runExperiment(t, "table5")
+	for _, name := range []string{"BBTC", "GGrnd", "GAP", "GBBS", "Lotus"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table5 output missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "Fig 1") {
+		t.Error("table5 output missing Fig 1 rates")
+	}
+}
+
+func TestFig4ReportsBothKernels(t *testing.T) {
+	out := runExperiment(t, "fig4")
+	if !strings.Contains(out, "forward") || !strings.Contains(out, "lotus") {
+		t.Fatalf("fig4 output missing kernels:\n%s", out)
+	}
+	if !strings.Contains(out, "Average reduction") {
+		t.Fatal("fig4 output missing summary")
+	}
+}
+
+func TestFindAndIDs(t *testing.T) {
+	if Find("nope") != nil {
+		t.Fatal("Find returned ghost experiment")
+	}
+	ids := IDs()
+	if len(ids) < 12 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, want := range []string{"table1", "table5", "table7", "table8", "table9",
+		"fig4", "fig6", "fig7", "fig8", "fig9"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+}
+
+func TestExperimentsCitePaperBaselines(t *testing.T) {
+	// Every table/figure reproduction must print the paper's reported
+	// numbers next to the measured ones, so the output is
+	// self-contained for comparison (EXPERIMENTS.md is built from it).
+	for _, id := range []string{"table1", "table5", "table7", "table8", "table9",
+		"fig4", "fig6", "fig7", "fig8", "fig9"} {
+		out := runExperiment(t, id)
+		if !strings.Contains(out, "paper") {
+			t.Errorf("%s output does not cite the paper's numbers", id)
+		}
+	}
+}
+
+func TestExperimentDescriptionsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.Description == "" {
+			t.Errorf("%s has no description", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run in -short mode")
+	}
+	var buf bytes.Buffer
+	RunAll(&buf, Suite{Scale: 8, EdgeFactor: 6}, 2)
+	out := buf.String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("RunAll reported mismatch:\n%s", out)
+	}
+	for _, hdr := range []string{"Table 1", "Table 5", "Table 7", "Table 8", "Table 9",
+		"Fig 4", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Ablation"} {
+		if !strings.Contains(out, hdr) {
+			t.Errorf("RunAll output missing section %q", hdr)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package hwsim
+
+// BranchPredictor is a gshare-style predictor: a table of 2-bit
+// saturating counters indexed by the branch site XOR a global history
+// register. It supplies the branch-misprediction proxy of Fig 5c: the
+// data-dependent compare branches of merge joins are what mispredict
+// in TC, and their outcome streams are fed through this model.
+type BranchPredictor struct {
+	table   []uint8
+	mask    uint64
+	history uint64
+
+	branches    uint64
+	mispredicts uint64
+}
+
+// NewBranchPredictor builds a predictor with 2^bits counters
+// (bits=14 models a 16K-entry table).
+func NewBranchPredictor(bits uint) *BranchPredictor {
+	return &BranchPredictor{
+		table: make([]uint8, 1<<bits),
+		mask:  (1 << bits) - 1,
+	}
+}
+
+// Record feeds one dynamic branch at the given site with its actual
+// outcome and returns true if the predictor mispredicted it.
+func (b *BranchPredictor) Record(site uint64, taken bool) bool {
+	b.branches++
+	i := (site ^ b.history) & b.mask
+	ctr := b.table[i]
+	predictTaken := ctr >= 2
+	miss := predictTaken != taken
+	if miss {
+		b.mispredicts++
+	}
+	if taken && ctr < 3 {
+		b.table[i] = ctr + 1
+	} else if !taken && ctr > 0 {
+		b.table[i] = ctr - 1
+	}
+	b.history = (b.history << 1) | boolBit(taken)
+	return miss
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stats returns dynamic branches and mispredictions so far.
+func (b *BranchPredictor) Stats() (branches, mispredicts uint64) {
+	return b.branches, b.mispredicts
+}
+
+// MissRatio returns mispredicts/branches.
+func (b *BranchPredictor) MissRatio() float64 {
+	if b.branches == 0 {
+		return 0
+	}
+	return float64(b.mispredicts) / float64(b.branches)
+}
+
+// Reset clears state and counters.
+func (b *BranchPredictor) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+	b.history, b.branches, b.mispredicts = 0, 0, 0
+}

@@ -1,0 +1,61 @@
+package hwsim
+
+// LatencyModel assigns cycle costs per hit level plus a NUMA model:
+// pages are interleaved round-robin across nodes (the paper's
+// "interleaved NUMA memory policy", §5.1.3) and memory accesses whose
+// page lives on a remote node pay an extra penalty. The model turns
+// miss counts into a single estimated-cycles figure, which is how the
+// reference-stream replay predicts end-to-end standings without
+// executing on the paper's machines.
+type LatencyModel struct {
+	L1, L2, L3, Mem uint64
+	// RemotePenalty is added to Mem for pages on a node other than
+	// the accessing core's (node 0).
+	RemotePenalty uint64
+	// NumaNodes is the number of memory nodes pages interleave over
+	// (1 disables the NUMA penalty).
+	NumaNodes int
+}
+
+// DefaultLatencies returns cycle costs in the range measured on
+// SkyLakeX-class parts: L1 4, L2 14, L3 44, DRAM 200 (+100 remote).
+func DefaultLatencies(numaNodes int) LatencyModel {
+	if numaNodes < 1 {
+		numaNodes = 1
+	}
+	return LatencyModel{L1: 4, L2: 14, L3: 44, Mem: 200, RemotePenalty: 100, NumaNodes: numaNodes}
+}
+
+// AttachLatency enables cycle accounting on the hierarchy.
+func (h *Hierarchy) AttachLatency(m LatencyModel) {
+	h.lat = &m
+}
+
+// Cycles returns the estimated cycle total (0 when no model is
+// attached).
+func (h *Hierarchy) Cycles() uint64 { return h.cycles }
+
+// chargeLatency classifies one line access by its deepest hit level
+// and charges the model cost.
+func (h *Hierarchy) chargeLatency(addr uint64, l1Hit, l2Hit, l3Hit bool) {
+	if h.lat == nil {
+		return
+	}
+	switch {
+	case l1Hit:
+		h.cycles += h.lat.L1
+	case l2Hit:
+		h.cycles += h.lat.L2
+	case l3Hit:
+		h.cycles += h.lat.L3
+	default:
+		c := h.lat.Mem
+		if h.lat.NumaNodes > 1 {
+			node := int(addr>>12) % h.lat.NumaNodes
+			if node != 0 {
+				c += h.lat.RemotePenalty
+			}
+		}
+		h.cycles += c
+	}
+}

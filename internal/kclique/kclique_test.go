@@ -1,0 +1,206 @@
+package kclique
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lotustc/internal/baseline"
+	"lotustc/internal/core"
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+var pool = sched.NewPool(4)
+
+// binom computes C(n, k).
+func binom(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := uint64(1)
+	for i := 1; i <= k; i++ {
+		r = r * uint64(n-k+i) / uint64(i)
+	}
+	return r
+}
+
+// bruteKCliques counts k-cliques by recursive enumeration over the
+// symmetric graph with an adjacency oracle — the independent test
+// oracle (exponential; tiny graphs only).
+func bruteKCliques(g *graph.Graph, k int) uint64 {
+	n := g.NumVertices()
+	var rec func(chosen []uint32, next int) uint64
+	rec = func(chosen []uint32, next int) uint64 {
+		if len(chosen) == k {
+			return 1
+		}
+		var total uint64
+		for v := next; v < n; v++ {
+			ok := true
+			for _, u := range chosen {
+				if !g.HasEdge(uint32(v), u) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				total += rec(append(chosen, uint32(v)), v+1)
+			}
+		}
+		return total
+	}
+	return rec(nil, 0)
+}
+
+func countBoth(g *graph.Graph, k, hubs int) (uint64, uint64) {
+	og := g.Orient()
+	generic := Count(og, k, pool)
+	lg := core.Preprocess(g, core.Options{HubCount: hubs, Pool: pool})
+	lotus := CountLotus(lg, k, pool)
+	return generic, lotus
+}
+
+func TestCompleteGraphCliques(t *testing.T) {
+	for _, n := range []int{4, 6, 9} {
+		g := gen.Complete(n)
+		for k := 1; k <= n; k++ {
+			want := binom(n, k)
+			generic, lotus := countBoth(g, k, 3)
+			if generic != want {
+				t.Errorf("K%d k=%d: generic = %d, want %d", n, k, generic, want)
+			}
+			if lotus != want {
+				t.Errorf("K%d k=%d: lotus = %d, want %d", n, k, lotus, want)
+			}
+		}
+	}
+}
+
+func TestTriangleEqualsTC(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 1))
+	want := baseline.BruteForce(g)
+	generic, lotus := countBoth(g, 3, 16)
+	if generic != want || lotus != want {
+		t.Fatalf("k=3: generic %d, lotus %d, want %d", generic, lotus, want)
+	}
+}
+
+func TestTriangleFreeGraphs(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"ring":      gen.Ring(32),
+		"star":      gen.Star(32),
+		"bipartite": gen.CompleteBipartite(6, 6),
+		"grid":      gen.Grid(5, 5),
+	} {
+		for k := 3; k <= 5; k++ {
+			generic, lotus := countBoth(g, k, 4)
+			if generic != 0 || lotus != 0 {
+				t.Errorf("%s k=%d: generic %d lotus %d, want 0", name, k, generic, lotus)
+			}
+		}
+	}
+}
+
+func TestSmallKEdgeCases(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 2))
+	generic, lotus := countBoth(g, 1, 8)
+	if generic != uint64(g.NumVertices()) || lotus != generic {
+		t.Fatalf("k=1: %d / %d, want |V|=%d", generic, lotus, g.NumVertices())
+	}
+	generic, lotus = countBoth(g, 2, 8)
+	if generic != uint64(g.NumEdges()) || lotus != generic {
+		t.Fatalf("k=2: %d / %d, want |E|=%d", generic, lotus, g.NumEdges())
+	}
+	if Count(g.Orient(), 0, pool) != 0 {
+		t.Fatal("k=0 should be 0")
+	}
+}
+
+func TestAgainstBruteOracle(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(14)
+		var edges []graph.Edge
+		m := rng.Intn(n * n / 2)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+		}
+		g := graph.FromEdges(edges, graph.BuildOptions{NumVertices: n})
+		for k := 3; k <= 5; k++ {
+			want := bruteKCliques(g, k)
+			hubs := 1 + rng.Intn(n)
+			generic, lotus := countBoth(g, k, hubs)
+			if generic != want || lotus != want {
+				t.Logf("seed %d k=%d hubs=%d: generic %d lotus %d want %d",
+					seed, k, hubs, generic, lotus, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLotusVsGenericOnGenerators(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":      gen.RMAT(gen.DefaultRMAT(9, 8, 3)),
+		"hubspokes": gen.HubAndSpokes(12, 200, 5, 4),
+		"chunglu":   gen.ChungLu(gen.ChungLuParams{N: 512, M: 4096, Gamma: 2.1, Seed: 5}),
+	}
+	for name, g := range graphs {
+		for k := 3; k <= 5; k++ {
+			generic, lotus := countBoth(g, k, 12)
+			if generic != lotus {
+				t.Errorf("%s k=%d: generic %d != lotus %d", name, k, generic, lotus)
+			}
+		}
+	}
+}
+
+func TestSkewAmplifiesWithK(t *testing.T) {
+	// §7's hypothesis: the hub share of k-cliques grows with k.
+	// Verify on a skewed graph that the all-hub fraction of 4-cliques
+	// exceeds that of triangles.
+	g := gen.RMAT(gen.DefaultRMAT(11, 12, 6))
+	lg := core.Preprocess(g, core.Options{Pool: pool})
+	// Cliques containing >= 1 hub = all cliques minus the cliques of
+	// the non-hub induced subgraph.
+	nonHub := lg.NonHubSubgraph().Orient()
+	og := g.Orient()
+	hubShare := func(k int) float64 {
+		total := Count(og, k, pool)
+		if total == 0 {
+			return 0
+		}
+		noHub := Count(nonHub, k, pool)
+		return float64(total-noHub) / float64(total)
+	}
+	f3, f4 := hubShare(3), hubShare(4)
+	if f4 <= f3 {
+		t.Fatalf("hub-clique share should grow with k: k=3 %.4f, k=4 %.4f", f3, f4)
+	}
+}
+
+func BenchmarkKClique(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 1))
+	og := g.Orient()
+	lg := core.Preprocess(g, core.Options{Pool: pool})
+	for _, k := range []int{3, 4, 5} {
+		b.Run("generic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += Count(og, k, pool)
+			}
+		})
+		b.Run("lotus", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += CountLotus(lg, k, pool)
+			}
+		})
+	}
+}
+
+var benchSink uint64

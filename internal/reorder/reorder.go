@@ -1,0 +1,187 @@
+// Package reorder builds vertex relabeling arrays. Baseline TC
+// algorithms use full degree ordering (§2.2, Algorithm 1); LOTUS uses
+// its own relabeling (§4.3.1) that moves only the hubs and other
+// high-degree vertices to the front while preserving the original
+// order — and therefore the original spatial locality — of everything
+// else.
+//
+// A relabeling array ra is indexed by the original vertex ID and holds
+// the new ID (a permutation of 0..|V|-1), exactly as
+// create_relabeling_array() returns in the paper.
+package reorder
+
+import (
+	"sort"
+
+	"lotustc/internal/graph"
+)
+
+// Identity returns the identity relabeling.
+func Identity(n int) []uint32 {
+	ra := make([]uint32, n)
+	for i := range ra {
+		ra[i] = uint32(i)
+	}
+	return ra
+}
+
+// byDegreeDesc returns vertex IDs sorted by degree descending, ties
+// broken by ascending original ID for determinism.
+func byDegreeDesc(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	deg := g.Degrees()
+	sort.SliceStable(ids, func(i, j int) bool {
+		di, dj := deg[ids[i]], deg[ids[j]]
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// DegreeOrder returns the full degree-descending relabeling used by
+// the Forward algorithm and the framework baselines: the vertex with
+// the highest degree becomes 0, and so on.
+func DegreeOrder(g *graph.Graph) []uint32 {
+	ids := byDegreeDesc(g)
+	ra := make([]uint32, len(ids))
+	for newID, oldID := range ids {
+		ra[oldID] = uint32(newID)
+	}
+	return ra
+}
+
+// LotusOptions tune the LOTUS relabeling.
+type LotusOptions struct {
+	// HubCount is the number of hubs (paper: 2^16). It also sets the
+	// minimum size of the reordered front block.
+	HubCount int
+	// FrontFraction is the fraction of highest-degree vertices moved
+	// to the front in degree order (paper: 10%, i.e. 0.10). The front
+	// block size is max(HubCount, FrontFraction*|V|), capped at |V|.
+	FrontFraction float64
+}
+
+// DefaultFrontFraction is the paper's 10% front block (§4.3.1).
+const DefaultFrontFraction = 0.10
+
+// Lotus returns the LOTUS relabeling array: the front block (hubs plus
+// other high-degree vertices, §4.3.1) receives the first consecutive
+// IDs in degree-descending order; all remaining vertices keep their
+// original relative order, preserving the graph's initial locality.
+func Lotus(g *graph.Graph, opt LotusOptions) []uint32 {
+	n := g.NumVertices()
+	if opt.FrontFraction <= 0 {
+		opt.FrontFraction = DefaultFrontFraction
+	}
+	front := int(opt.FrontFraction * float64(n))
+	if opt.HubCount > front {
+		front = opt.HubCount
+	}
+	if front > n {
+		front = n
+	}
+	ids := byDegreeDesc(g)
+	ra := make([]uint32, n)
+	inFront := make([]bool, n)
+	for i := 0; i < front; i++ {
+		ra[ids[i]] = uint32(i)
+		inFront[ids[i]] = true
+	}
+	next := uint32(front)
+	for old := 0; old < n; old++ {
+		if !inFront[old] {
+			ra[old] = next
+			next++
+		}
+	}
+	return ra
+}
+
+// DegeneracyOrder returns the relabeling induced by a k-core
+// (degeneracy) peeling: vertices are repeatedly removed in order of
+// minimum remaining degree, and the i-th removed vertex gets new ID
+// n-1-i. A vertex's not-yet-removed neighbours at removal time (at
+// most the degeneracy of the graph) are exactly the ones that end up
+// with *smaller* new IDs, so after Orient every forward list N^< has
+// length <= degeneracy — the ordering behind node-iterator-core [62],
+// giving the Forward algorithm its best worst-case intersection
+// sizes. Returns the relabeling array and the degeneracy.
+func DegeneracyOrder(g *graph.Graph) ([]uint32, int) {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	maxd := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(uint32(v)))
+		if int(deg[v]) > maxd {
+			maxd = int(deg[v])
+		}
+	}
+	buckets := make([][]uint32, maxd+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], uint32(v))
+	}
+	removed := make([]bool, n)
+	ra := make([]uint32, n)
+	degeneracy := 0
+	next := uint32(0)
+	cur := 0
+	for processed := 0; processed < n; {
+		for cur <= maxd && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxd {
+			break
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != int32(cur) {
+			continue // stale entry
+		}
+		removed[v] = true
+		ra[v] = uint32(n-1) - next
+		next++
+		processed++
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, u := range g.Neighbors(v) {
+			if removed[u] {
+				continue
+			}
+			deg[u]--
+			buckets[deg[u]] = append(buckets[deg[u]], u)
+			if int(deg[u]) < cur {
+				cur = int(deg[u])
+			}
+		}
+	}
+	return ra, degeneracy
+}
+
+// Inverse returns the inverse permutation (new -> old), useful to map
+// results back to original vertex IDs.
+func Inverse(ra []uint32) []uint32 {
+	inv := make([]uint32, len(ra))
+	for old, nw := range ra {
+		inv[nw] = uint32(old)
+	}
+	return inv
+}
+
+// IsPermutation verifies that ra is a bijection on 0..len(ra)-1.
+func IsPermutation(ra []uint32) bool {
+	seen := make([]bool, len(ra))
+	for _, x := range ra {
+		if int(x) >= len(ra) || seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+// Package sched provides the parallel execution substrate for the
+// LOTUS reproduction: a dynamic self-scheduling parallel-for (the
+// goroutine equivalent of the paper's work-stealing master/worker
+// runtime, §5.1.3), padded per-worker accumulators, and per-worker
+// busy-time measurement used for the Table 9 idle-time experiment.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool executes parallel loops on a fixed number of workers.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given worker count; n <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn(worker, start, end) over disjoint chunks covering
+// [0, n). Chunks of size grain are claimed from a shared atomic
+// counter, so uneven iteration costs self-balance exactly like work
+// stealing: fast workers simply claim more chunks. grain <= 0 picks a
+// default that yields ~64 chunks per worker.
+func (p *Pool) For(n, grain int, fn func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	if grain <= 0 {
+		grain = n / (p.workers * 64)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				fn(worker, start, end)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForTimed is For, but additionally measures each worker's busy time
+// (time spent inside fn) and the loop's wall-clock time. The Table 9
+// experiment derives idle percentage from these.
+func (p *Pool) ForTimed(n, grain int, fn func(worker, start, end int)) LoadReport {
+	busy := make([]time.Duration, p.workers)
+	t0 := time.Now()
+	p.For(n, grain, func(worker, start, end int) {
+		s := time.Now()
+		fn(worker, start, end)
+		busy[worker] += time.Since(s)
+	})
+	return LoadReport{Busy: busy, Wall: time.Since(t0)}
+}
+
+// RunTasks executes nTasks opaque tasks (fn(worker, task)) with
+// dynamic self-scheduling, one task per claim. Used for tile queues
+// where tasks already embody the desired granularity.
+func (p *Pool) RunTasks(nTasks int, fn func(worker, task int)) LoadReport {
+	busy := make([]time.Duration, p.workers)
+	t0 := time.Now()
+	if nTasks <= 0 {
+		return LoadReport{Busy: busy, Wall: time.Since(t0)}
+	}
+	if p.workers == 1 {
+		s := time.Now()
+		for i := 0; i < nTasks; i++ {
+			fn(0, i)
+		}
+		busy[0] = time.Since(s)
+		return LoadReport{Busy: busy, Wall: time.Since(t0)}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nTasks {
+					return
+				}
+				s := time.Now()
+				fn(worker, i)
+				busy[worker] += time.Since(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return LoadReport{Busy: busy, Wall: time.Since(t0)}
+}
+
+// LoadReport captures per-worker busy time for one parallel region.
+type LoadReport struct {
+	Busy []time.Duration
+	Wall time.Duration
+}
+
+// IdleFraction returns the mean fraction of wall time workers spent
+// idle: 1 - sum(busy) / (workers * wall). With a single worker it is
+// ~0 by construction; with skewed tiles and many workers it exposes
+// load imbalance (Table 9).
+func (r LoadReport) IdleFraction() float64 {
+	if len(r.Busy) == 0 || r.Wall <= 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, b := range r.Busy {
+		sum += b
+	}
+	if sum == 0 {
+		// No work executed: idle time is meaningless, report none.
+		return 0
+	}
+	idle := 1 - float64(sum)/(float64(r.Wall)*float64(len(r.Busy)))
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
+// MaxBusy returns the longest per-worker busy time — the critical
+// path of the region under perfect overlap.
+func (r LoadReport) MaxBusy() time.Duration {
+	var m time.Duration
+	for _, b := range r.Busy {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// ImbalanceRatio returns max(busy)/mean(busy), 1.0 meaning perfectly
+// balanced. It is a machine-independent load-balance metric used in
+// Table 9 alongside idle time (idle time degenerates on 1 core).
+func (r LoadReport) ImbalanceRatio() float64 {
+	if len(r.Busy) == 0 {
+		return 1
+	}
+	var sum time.Duration
+	for _, b := range r.Busy {
+		sum += b
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(r.Busy))
+	return float64(r.MaxBusy()) / mean
+}
+
+// cacheLinePad separates hot per-worker counters onto distinct
+// cachelines to avoid false sharing.
+const cacheLinePad = 64
+
+// Accumulator is a set of per-worker uint64 counters, padded to one
+// cacheline each, summed after the parallel region. It is how every
+// counting phase aggregates triangles without atomics on the hot path.
+type Accumulator struct {
+	cells []uint64
+}
+
+// NewAccumulator returns an accumulator for n workers.
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{cells: make([]uint64, n*(cacheLinePad/8))}
+}
+
+// Add adds x to worker w's counter.
+func (a *Accumulator) Add(w int, x uint64) {
+	a.cells[w*(cacheLinePad/8)] += x
+}
+
+// Sum returns the total across workers.
+func (a *Accumulator) Sum() uint64 {
+	var s uint64
+	for i := 0; i < len(a.cells); i += cacheLinePad / 8 {
+		s += a.cells[i]
+	}
+	return s
+}

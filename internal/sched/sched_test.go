@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 5, 100, 1337} {
+			p := NewPool(workers)
+			seen := make([]int32, n)
+			p.For(n, 3, func(w, start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForDefaultGrain(t *testing.T) {
+	p := NewPool(4)
+	var total atomic.Int64
+	p.For(1000, 0, func(w, s, e int) { total.Add(int64(e - s)) })
+	if total.Load() != 1000 {
+		t.Fatalf("covered %d, want 1000", total.Load())
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	p := NewPool(3)
+	var bad atomic.Int32
+	p.For(500, 7, func(w, s, e int) {
+		if w < 0 || w >= 3 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker ID out of range")
+	}
+}
+
+func TestRunTasksAllExecuted(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		const n = 200
+		seen := make([]int32, n)
+		rep := p.RunTasks(n, func(w, task int) {
+			atomic.AddInt32(&seen[task], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("task %d executed %d times", i, c)
+			}
+		}
+		if len(rep.Busy) != workers {
+			t.Fatalf("busy slice len %d", len(rep.Busy))
+		}
+	}
+}
+
+func TestRunTasksEmpty(t *testing.T) {
+	p := NewPool(2)
+	rep := p.RunTasks(0, func(w, task int) { t.Fatal("called") })
+	if rep.IdleFraction() != 0 {
+		t.Fatal("empty run should report no idle")
+	}
+}
+
+func TestLoadReportMetrics(t *testing.T) {
+	r := LoadReport{
+		Busy: []time.Duration{100 * time.Millisecond, 50 * time.Millisecond},
+		Wall: 100 * time.Millisecond,
+	}
+	// idle = 1 - 150/(2*100) = 0.25
+	if got := r.IdleFraction(); got < 0.24 || got > 0.26 {
+		t.Fatalf("IdleFraction = %v, want 0.25", got)
+	}
+	if got := r.MaxBusy(); got != 100*time.Millisecond {
+		t.Fatalf("MaxBusy = %v", got)
+	}
+	// imbalance = 100 / 75
+	if got := r.ImbalanceRatio(); got < 1.32 || got > 1.34 {
+		t.Fatalf("ImbalanceRatio = %v, want ~1.333", got)
+	}
+}
+
+func TestLoadReportDegenerate(t *testing.T) {
+	if (LoadReport{}).IdleFraction() != 0 {
+		t.Fatal("zero report idle != 0")
+	}
+	if (LoadReport{}).ImbalanceRatio() != 1 {
+		t.Fatal("zero report imbalance != 1")
+	}
+	r := LoadReport{Busy: []time.Duration{0, 0}, Wall: time.Second}
+	if r.ImbalanceRatio() != 1 {
+		t.Fatal("all-zero busy should report ratio 1")
+	}
+}
+
+func TestForTimedAccounting(t *testing.T) {
+	p := NewPool(2)
+	rep := p.ForTimed(8, 1, func(w, s, e int) {
+		time.Sleep(time.Millisecond)
+	})
+	var sum time.Duration
+	for _, b := range rep.Busy {
+		sum += b
+	}
+	if sum < 8*time.Millisecond {
+		t.Fatalf("busy sum %v < 8ms of injected work", sum)
+	}
+	if rep.Wall <= 0 {
+		t.Fatal("wall time not measured")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a := NewAccumulator(4)
+	p := NewPool(4)
+	p.For(10000, 16, func(w, s, e int) {
+		for i := s; i < e; i++ {
+			a.Add(w, 1)
+		}
+	})
+	if got := a.Sum(); got != 10000 {
+		t.Fatalf("Sum = %d, want 10000", got)
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	if NewPool(-3).Workers() < 1 {
+		t.Fatal("negative pool has no workers")
+	}
+	if NewPool(5).Workers() != 5 {
+		t.Fatal("explicit worker count not honored")
+	}
+}
+
+func TestSkewedTasksSelfBalance(t *testing.T) {
+	// One task is 50x heavier; dynamic claiming must not assign the
+	// heavy task plus an equal share of the rest to the same worker.
+	p := NewPool(4)
+	work := func(units int) {
+		x := 0
+		for i := 0; i < units*1000; i++ {
+			x += i
+		}
+		_ = x
+	}
+	rep := p.RunTasks(64, func(w, task int) {
+		if task == 0 {
+			work(50)
+		} else {
+			work(1)
+		}
+	})
+	// On a single-core machine this is mostly a smoke test; the
+	// metric must at least be finite and >= 1.
+	if r := rep.ImbalanceRatio(); r < 1 {
+		t.Fatalf("ImbalanceRatio = %v < 1", r)
+	}
+}

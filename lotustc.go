@@ -1,0 +1,213 @@
+// Package lotustc is a Go reproduction of "LOTUS: Locality Optimizing
+// Triangle Counting" (Koohi Esfahani, Kilpatrick, Vandierendonck,
+// PPoPP 2022). It provides:
+//
+//   - LOTUS itself: a structure-aware triangle counter for power-law
+//     graphs that separates hub from non-hub edges into bespoke,
+//     cache-friendly structures (H2H bit array, 16-bit HE sub-graph,
+//     32-bit NHE sub-graph) and counts the four triangle classes
+//     (HHH/HHN/HNN/NNN) in three locality-optimized phases.
+//   - The baselines the paper compares against (Forward/GAP,
+//     edge-iterator/GraphGrind, GBBS-style, BBTC-style, node
+//     iterator).
+//   - Deterministic graph generators standing in for the paper's
+//     datasets, graph I/O, topology statistics, and the paper's two
+//     future-work extensions (recursive splitting, streaming hub TC).
+//
+// Quick start:
+//
+//	g := lotustc.RMAT(18, 16, 42)
+//	res, err := lotustc.Count(g, lotustc.Options{Algorithm: lotustc.AlgoLotus})
+//	fmt.Println(res.Triangles)
+package lotustc
+
+import (
+	"fmt"
+	"time"
+
+	"lotustc/internal/baseline"
+	"lotustc/internal/core"
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+// Graph is the CSX graph type. Build one with FromEdges, a generator,
+// or LoadGraph.
+type Graph = graph.Graph
+
+// Edge is one undirected edge.
+type Edge = graph.Edge
+
+// FromEdges builds a simple symmetric graph from an edge list:
+// duplicates collapse, self loops are dropped. numVertices pins |V|
+// (0 infers it from the largest ID).
+func FromEdges(edges []Edge, numVertices int) *Graph {
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: numVertices})
+}
+
+// LoadGraph reads a binary graph file written by SaveGraph.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes g to a binary graph file.
+func SaveGraph(g *Graph, path string) error { return g.SaveFile(path) }
+
+// Algorithm names a triangle counting algorithm.
+type Algorithm string
+
+// The available algorithms. AlgoLotus is the paper's contribution;
+// the others are the §5.1.4 comparators.
+const (
+	AlgoLotus          Algorithm = "lotus"
+	AlgoLotusRecursive Algorithm = "lotus-recursive"
+	AlgoForward        Algorithm = "forward"        // GAP-style, merge join
+	AlgoForwardBinary  Algorithm = "forward-binary" // binary-search intersection
+	AlgoForwardHash    Algorithm = "forward-hash"   // Forward-hashed
+	AlgoEdgeIterator   Algorithm = "edge-iterator"  // GraphGrind-style
+	AlgoNodeIterator   Algorithm = "node-iterator"
+	AlgoGBBS           Algorithm = "gbbs" // edge-parallel Forward
+	AlgoBBTC           Algorithm = "bbtc" // block-based 2-D partitioned
+	// The classic algorithms §6.1 surveys.
+	AlgoNewVertexListing Algorithm = "new-vertex-listing" // Latapy bitmap
+	AlgoNodeIteratorCore Algorithm = "node-iterator-core" // Schank-Wagner
+	AlgoAYZ              Algorithm = "ayz"                // Alon-Yuster-Zwick
+	// AlgoForwardDegeneracy orients by k-core peeling order,
+	// bounding every forward list by the graph's degeneracy.
+	AlgoForwardDegeneracy Algorithm = "forward-degeneracy"
+)
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoLotus, AlgoLotusRecursive, AlgoForward, AlgoForwardBinary,
+		AlgoForwardHash, AlgoEdgeIterator, AlgoNodeIterator, AlgoGBBS, AlgoBBTC,
+		AlgoNewVertexListing, AlgoNodeIteratorCore, AlgoAYZ, AlgoForwardDegeneracy,
+	}
+}
+
+// Options configure Count.
+type Options struct {
+	// Algorithm defaults to AlgoLotus.
+	Algorithm Algorithm
+	// Workers bounds parallelism; 0 uses GOMAXPROCS.
+	Workers int
+	// HubCount overrides the LOTUS hub count (0 = adaptive:
+	// min(64K, |V|/4), the paper's 64K at scale).
+	HubCount int
+	// FrontFraction overrides the §4.3.1 relabeling front block
+	// (0 = the paper's 10%).
+	FrontFraction float64
+	// TileThreshold overrides the squared-edge-tiling degree cutoff
+	// (0 = the paper's 512).
+	TileThreshold int
+	// EdgeBalancedTiling switches phase 1 to the edge-balanced
+	// partitioner the paper compares against in Table 9.
+	EdgeBalancedTiling bool
+	// MaxDepth bounds AlgoLotusRecursive (0 = 2 levels).
+	MaxDepth int
+	// HNNBlocks > 1 enables the §7 blocked HNN phase with that many
+	// ID-range blocks (0/1 = unblocked).
+	HNNBlocks int
+	// WorkStealing schedules phase-1 tiles on work-stealing deques
+	// (the paper's runtime model) instead of the shared counter.
+	WorkStealing bool
+}
+
+// Result reports one count. The phase fields are populated for the
+// LOTUS algorithms only.
+type Result struct {
+	Algorithm Algorithm
+	Triangles uint64
+	// Elapsed is the end-to-end time including preprocessing, the
+	// Table 5 accounting.
+	Elapsed time.Duration
+	// Preprocess is the LOTUS graph construction time (Fig 6).
+	Preprocess time.Duration
+	// Phase wall times (Fig 6).
+	Phase1, HNNPhase, NNNPhase time.Duration
+	// Triangle classes (Fig 7).
+	HHH, HHN, HNN, NNN uint64
+	// RecursionDepth reports levels used by AlgoLotusRecursive.
+	RecursionDepth int
+}
+
+// HubTriangles returns triangles containing at least one hub
+// (meaningful for the LOTUS algorithms).
+func (r *Result) HubTriangles() uint64 { return r.HHH + r.HHN + r.HNN }
+
+// TCRate returns the end-to-end triangle counting rate in edges per
+// second, the metric of Fig 1.
+func (r *Result) TCRate(edges int64) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(edges) / r.Elapsed.Seconds()
+}
+
+// Count counts the triangles of g with the selected algorithm. The
+// graph must be symmetric (as built by FromEdges or the generators).
+func Count(g *Graph, opt Options) (*Result, error) {
+	if opt.Algorithm == "" {
+		opt.Algorithm = AlgoLotus
+	}
+	pool := sched.NewPool(opt.Workers)
+	res := &Result{Algorithm: opt.Algorithm}
+	start := time.Now()
+	switch opt.Algorithm {
+	case AlgoLotus:
+		lg := core.Preprocess(g, core.Options{
+			HubCount: opt.HubCount, FrontFraction: opt.FrontFraction, Pool: pool,
+		})
+		copt := core.CountOptions{
+			TileThreshold: opt.TileThreshold,
+			HNNBlocks:     opt.HNNBlocks,
+			WorkStealing:  opt.WorkStealing,
+		}
+		if opt.EdgeBalancedTiling {
+			copt.Partitioner = core.EdgeBalanced
+		}
+		cr := lg.CountWithOptions(pool, copt)
+		res.Triangles = cr.Total
+		res.Preprocess = lg.PreprocessTime
+		res.Phase1, res.HNNPhase, res.NNNPhase = cr.Phase1Time, cr.HNNTime, cr.NNNTime
+		res.HHH, res.HHN, res.HNN, res.NNN = cr.HHH, cr.HHN, cr.HNN, cr.NNN
+	case AlgoLotusRecursive:
+		rr := core.CountRecursive(g, pool, core.RecursiveOptions{
+			Options:  core.Options{HubCount: opt.HubCount, FrontFraction: opt.FrontFraction, Pool: pool},
+			MaxDepth: opt.MaxDepth,
+		})
+		res.Triangles = rr.Total
+		res.RecursionDepth = rr.Depth
+		for _, lvl := range rr.Levels {
+			res.HHH += lvl.HHH
+			res.HHN += lvl.HHN
+			res.HNN += lvl.HNN
+		}
+		res.NNN = rr.Levels[len(rr.Levels)-1].NNN
+	case AlgoForward:
+		res.Triangles = baseline.Forward(g, pool, baseline.KernelMerge)
+	case AlgoForwardBinary:
+		res.Triangles = baseline.Forward(g, pool, baseline.KernelBinary)
+	case AlgoForwardHash:
+		res.Triangles = baseline.Forward(g, pool, baseline.KernelHash)
+	case AlgoEdgeIterator:
+		res.Triangles = baseline.EdgeIterator(g, pool)
+	case AlgoNodeIterator:
+		res.Triangles = baseline.NodeIterator(g, pool)
+	case AlgoGBBS:
+		res.Triangles = baseline.GBBS(g, pool)
+	case AlgoBBTC:
+		res.Triangles = baseline.BBTC(g, pool, 0)
+	case AlgoNewVertexListing:
+		res.Triangles = baseline.NewVertexListing(g, pool)
+	case AlgoNodeIteratorCore:
+		res.Triangles = baseline.NodeIteratorCore(g)
+	case AlgoAYZ:
+		res.Triangles = baseline.AYZ(g, pool, 0)
+	case AlgoForwardDegeneracy:
+		res.Triangles = baseline.ForwardDegeneracy(g, pool, baseline.KernelMerge)
+	default:
+		return nil, fmt.Errorf("lotustc: unknown algorithm %q", opt.Algorithm)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
