@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench verify experiments fuzz clean
+.PHONY: all build test check race bench verify experiments fuzz clean
 
 all: build test
 
@@ -12,6 +12,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The pre-commit gate: static analysis plus the race-enabled short
+# test subset (large cancellation graphs shrink under -short).
+check:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
 
 race:
 	$(GO) test -race ./internal/... .

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale      = fs.Uint("scale", 16, "R-MAT scale (|V| = 2^scale); other datasets sized to match")
 		edgeFactor = fs.Int("edgefactor", 16, "edges per vertex before dedup")
 		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,10 +48,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	suite := harness.Suite{Scale: *scale, EdgeFactor: *edgeFactor}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	suite := harness.Suite{Scale: *scale, EdgeFactor: *edgeFactor, Ctx: ctx}
 	switch {
 	case *all:
-		harness.RunAll(stdout, suite, *workers)
+		if err := harness.RunAll(stdout, suite, *workers); err != nil {
+			fmt.Fprintf(stderr, "lotus-bench: %v\n", err)
+			return 1
+		}
 	case *exp != "":
 		e := harness.Find(*exp)
 		if e == nil {
@@ -57,6 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		e.Run(stdout, suite, *workers)
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(stderr, "lotus-bench: %v\n", err)
+			return 1
+		}
 	default:
 		fmt.Fprintln(stderr, "lotus-bench: need -exp <id>, -all or -list")
 		return 2

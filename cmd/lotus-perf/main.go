@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"lotustc/internal/graph"
 	"lotustc/internal/hwsim"
 	"lotustc/internal/perf"
+	"lotustc/internal/sched"
 )
 
 func main() {
@@ -41,9 +43,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		machine   = fs.String("machine", "scaled", "machine model: scaled | skylakex | haswell | epyc")
 		hubs      = fs.Int("hubs", 0, "LOTUS hub count (0 = adaptive)")
 		mrc       = fs.Bool("mrc", false, "print exact LRU miss-ratio curves instead of machine events")
+		timeout   = fs.Duration("timeout", 0, "abort the preprocessing after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var g *graph.Graph
@@ -62,7 +72,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	lg := core.Preprocess(g, core.Options{HubCount: *hubs})
+	pool := sched.NewPool(0).Bind(ctx)
+	defer pool.Release()
+	lg := core.Preprocess(g, core.Options{HubCount: *hubs, Pool: pool})
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(stderr, "lotus-perf: %v\n", err)
+		return 1
+	}
 	if *mrc {
 		caps := []int{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 17, 1 << 20}
 		fwd := perf.ForwardMRC(g, caps)

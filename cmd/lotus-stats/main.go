@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,9 +40,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 1, "R-MAT seed")
 		hubFrac   = fs.Float64("hubfrac", 0.01, "Table 1 hub fraction")
 		hubs      = fs.Int("hubs", 0, "LOTUS hub count for Table 7/8 (0 = adaptive)")
+		timeout   = fs.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var g *graph.Graph
@@ -63,7 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "vertices: %d   edges: %d   max degree: %d   degree Gini: %.3f   assortativity: %+.3f\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.GiniOfDegrees(), stats.DegreeAssortativity(g))
 
-	pool := sched.NewPool(0)
+	pool := sched.NewPool(0).Bind(ctx)
+	defer pool.Release()
 	comps := cc.Summarize(cc.LabelPropagation(g, pool))
 	fmt.Fprintf(stdout, "components: %d (largest %.1f%%, %d isolated)\n",
 		comps.Components, 100*comps.LargestShare, comps.Isolated)
@@ -79,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  hub relative density: %.0f\n", t1.RelativeDensity)
 	fmt.Fprintf(stdout, "  fruitless searches:   %6.1f%%\n", t1.FruitlessSearchPct)
 
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(stderr, "lotus-stats: %v\n", err)
+		return 1
+	}
 	lg := core.Preprocess(g, core.Options{HubCount: *hubs, Pool: pool})
 	t7 := stats.ComputeTable7(g, lg)
 	fmt.Fprintf(stdout, "\nTable 7 (LOTUS hub count %d):\n", lg.HubCount)

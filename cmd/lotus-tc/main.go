@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"lotustc"
+	"lotustc/internal/engine"
 	"lotustc/internal/graph"
 )
 
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		hubs      = fs.Int("hubs", 0, "LOTUS hub count (0 = adaptive, paper default 65536)")
 		k         = fs.Int("k", 3, "clique size: 3 counts triangles; k > 3 counts k-cliques")
+		timeout   = fs.Duration("timeout", 0, "abort the count after this long (0 = no limit)")
 		verbose   = fs.Bool("v", false, "print breakdown and class split")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, a)
 		}
 		return 0
+	}
+
+	// Reject an unknown -algo before the (possibly expensive) graph
+	// load or generation.
+	if _, err := engine.Lookup(*algo); err != nil {
+		fmt.Fprintf(stderr, "lotus-tc: %v\n", err)
+		return 1
 	}
 
 	var g *lotustc.Graph
@@ -91,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Algorithm: lotustc.Algorithm(*algo),
 		Workers:   *workers,
 		HubCount:  *hubs,
+		Timeout:   *timeout,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "lotus-tc: %v\n", err)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,13 +35,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lotus-verify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		rounds = fs.Int("rounds", 30, "random graphs to test")
-		maxN   = fs.Int("maxn", 150, "max vertices per random graph")
-		seed   = fs.Int64("seed", 1, "base RNG seed")
-		kmax   = fs.Int("kmax", 5, "largest clique size to cross-check")
+		rounds  = fs.Int("rounds", 30, "random graphs to test")
+		maxN    = fs.Int("maxn", 150, "max vertices per random graph")
+		seed    = fs.Int64("seed", 1, "base RNG seed")
+		kmax    = fs.Int("kmax", 5, "largest clique size to cross-check")
+		timeout = fs.Duration("timeout", 0, "abort the whole battery after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	pool := sched.NewPool(0)
@@ -54,7 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verify := func(label string, g *graph.Graph, rng *rand.Rand) {
 		want := baseline.BruteForce(g)
 		for _, alg := range lotustc.Algorithms() {
-			res, err := lotustc.Count(g, lotustc.Options{Algorithm: alg})
+			res, err := lotustc.CountContext(ctx, g, lotustc.Options{Algorithm: alg})
+			if err == context.DeadlineExceeded || err == context.Canceled {
+				return
+			}
 			if err != nil {
 				fmt.Fprintf(stderr, "FAIL %s/%s: %v\n", label, alg, err)
 				failures++
@@ -110,11 +122,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	for name, g := range structured {
+		if ctx.Err() != nil {
+			break
+		}
 		verify(name, g, rng)
 	}
 
 	// Random battery.
-	for r := 0; r < *rounds; r++ {
+	for r := 0; r < *rounds && ctx.Err() == nil; r++ {
 		n := 4 + rng.Intn(*maxN-3)
 		m := rng.Intn(5 * n)
 		edges := make([]graph.Edge, 0, m)
@@ -126,6 +141,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "lotus-verify: %d checks, %d failures\n", checked, failures)
+	if ctx.Err() != nil {
+		fmt.Fprintf(stderr, "lotus-verify: aborted after %v: %v\n", *timeout, ctx.Err())
+		return 1
+	}
 	if failures > 0 {
 		return 1
 	}

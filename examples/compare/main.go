@@ -20,9 +20,21 @@ func main() {
 		{"chunglu-web", lotustc.ChungLu(1<<15, 1<<20, 2.1, 4)},
 		{"flat-capped", lotustc.ChungLuCapped(1<<15, 1<<19, 2.6, 0.002, 5)},
 	}
-	algos := []lotustc.Algorithm{
-		lotustc.AlgoLotus, lotustc.AlgoForward, lotustc.AlgoForwardBinary,
-		lotustc.AlgoEdgeIterator, lotustc.AlgoGBBS, lotustc.AlgoBBTC,
+	// Every registered algorithm, straight from the engine's registry —
+	// new kernels registered with engine.Register join the comparison
+	// automatically. The quadratic classics are skipped to keep the
+	// run short.
+	slow := map[lotustc.Algorithm]bool{
+		lotustc.AlgoNodeIterator:     true,
+		lotustc.AlgoNodeIteratorCore: true,
+		lotustc.AlgoNewVertexListing: true,
+		lotustc.AlgoAYZ:              true,
+	}
+	var algos []lotustc.Algorithm
+	for _, a := range lotustc.Algorithms() {
+		if !slow[a] {
+			algos = append(algos, a)
+		}
 	}
 	for _, gg := range graphs {
 		fmt.Printf("\n%s: %d vertices, %d edges, Gini %.2f\n",

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"lotustc"
 )
@@ -39,4 +41,13 @@ func main() {
 		log.Fatalf("count mismatch: lotus %d vs forward %d", res.Triangles, fwd.Triangles)
 	}
 	fmt.Printf("forward baseline agrees (%d) in %v\n", fwd.Triangles, fwd.Elapsed)
+
+	// Counts are cancellable: CountContext stops cooperatively when
+	// the context is done, and Options.Timeout is the shorthand. An
+	// already-expired deadline aborts before any counting work.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := lotustc.CountContext(ctx, g, lotustc.Options{}); err != nil {
+		fmt.Printf("cancelled count returned: %v\n", err)
+	}
 }

@@ -89,6 +89,9 @@ func CountOriented(og *graph.Graph, pool *sched.Pool, kernel Kernel) uint64 {
 	pool.For(n, 0, func(worker, start, end int) {
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			nv := og.Neighbors(uint32(v))
 			for _, u := range nv {
 				nu := og.Neighbors(u)
@@ -133,6 +136,9 @@ func NodeIterator(g *graph.Graph, pool *sched.Pool) uint64 {
 	pool.For(n, 0, func(worker, start, end int) {
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			nv := g.Neighbors(uint32(v))
 			for i := 0; i < len(nv); i++ {
 				for j := i + 1; j < len(nv); j++ {
@@ -160,6 +166,9 @@ func EdgeIterator(g *graph.Graph, pool *sched.Pool) uint64 {
 	pool.For(n, 0, func(worker, start, end int) {
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			nv := g.Neighbors(uint32(v))
 			for _, u := range nv {
 				if u >= uint32(v) {
@@ -237,7 +246,7 @@ func BBTC(g *graph.Graph, pool *sched.Pool, blocks int) uint64 {
 		bi := task / blocks
 		bj := task % blocks
 		var local uint64
-		for v := blockStart(bi); v < blockStart(bi+1) && int(v) < n; v++ {
+		for v := blockStart(bi); v < blockStart(bi+1) && int(v) < n && !pool.Cancelled(); v++ {
 			nv := og.Neighbors(v)
 			for _, u := range nv {
 				if blockOf(u) != bj {

@@ -28,6 +28,9 @@ func NewVertexListing(g *graph.Graph, pool *sched.Pool) uint64 {
 		bm := bitmaps[worker]
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			nv := g.Neighbors(uint32(v))
 			bm.Reset()
 			for _, u := range nv {
@@ -58,8 +61,9 @@ func NewVertexListing(g *graph.Graph, pool *sched.Pool) uint64 {
 // take a minimum-degree vertex, count the edges among its remaining
 // neighbours, and delete it. Deletion keeps every intersection small
 // (bounded by the graph's degeneracy). Sequential by nature — the
-// removal order is a data dependence — so it runs single-threaded.
-func NodeIteratorCore(g *graph.Graph) uint64 {
+// removal order is a data dependence — so it runs single-threaded;
+// the pool is consulted only for cooperative cancellation.
+func NodeIteratorCore(g *graph.Graph, pool *sched.Pool) uint64 {
 	n := g.NumVertices()
 	deg := make([]int32, n)
 	maxd := 0
@@ -83,6 +87,9 @@ func NodeIteratorCore(g *graph.Graph) uint64 {
 	processed := 0
 	cur := 0
 	for processed < n {
+		if pool != nil && pool.Cancelled() {
+			break
+		}
 		for cur <= maxd && len(buckets[cur]) == 0 {
 			cur++
 		}
@@ -161,6 +168,9 @@ func AYZ(g *graph.Graph, pool *sched.Pool, delta int) uint64 {
 	pool.For(n, 0, func(worker, start, end int) {
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			if !isLow[v] {
 				continue
 			}
@@ -202,6 +212,9 @@ func AYZ(g *graph.Graph, pool *sched.Pool, delta int) uint64 {
 		pool.For(h, 0, func(worker, start, end int) {
 			var local uint64
 			for i := start; i < end; i++ {
+				if pool.Cancelled() {
+					break
+				}
 				ri := rows[i*words : (i+1)*words]
 				for j := i + 1; j < h; j++ {
 					if ri[j>>6]&(1<<(uint(j)&63)) == 0 {
@@ -251,6 +264,9 @@ func MatrixTC(g *graph.Graph, pool *sched.Pool) uint64 {
 	pool.For(n, 0, func(worker, start, end int) {
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			rv := rows[v*words : (v+1)*words]
 			for _, u := range g.Neighbors(uint32(v)) {
 				if u >= uint32(v) {

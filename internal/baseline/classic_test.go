@@ -12,7 +12,7 @@ import (
 func classicAlgorithms(g *graph.Graph) map[string]uint64 {
 	return map[string]uint64{
 		"new-vertex-listing": NewVertexListing(g, pool),
-		"node-iterator-core": NodeIteratorCore(g),
+		"node-iterator-core": NodeIteratorCore(g, pool),
 		"ayz-auto":           AYZ(g, pool, 0),
 		"ayz-delta2":         AYZ(g, pool, 2),
 		"ayz-delta-huge":     AYZ(g, pool, 1<<30),
@@ -123,7 +123,7 @@ func BenchmarkClassic(b *testing.B) {
 	})
 	b.Run("node-iterator-core", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			benchClassicSink += NodeIteratorCore(g)
+			benchClassicSink += NodeIteratorCore(g, pool)
 		}
 	})
 	b.Run("ayz", func(b *testing.B) {

@@ -110,6 +110,11 @@ func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Resu
 	t0 := time.Now()
 	res.Phase1Load = lg.countPhase1(pool, opt, res)
 	res.Phase1Time = time.Since(t0)
+	if pool.Cancelled() {
+		// The run is being torn down: skip the remaining phases; the
+		// engine discards the partial result.
+		return res
+	}
 
 	switch {
 	case opt.SkipNNN:
@@ -130,6 +135,9 @@ func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Resu
 			res.HNNLoad = lg.countHNN(pool, res)
 		}
 		res.HNNTime = time.Since(t1)
+		if pool.Cancelled() {
+			return res
+		}
 
 		t2 := time.Now()
 		res.NNNLoad = lg.countNNN(pool, res)
@@ -256,6 +264,12 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 	processPairs := func(v uint32, lo, hi uint32) (found uint64) {
 		nv := lg.HE.Neighbors(v)
 		for i := int(lo); i < int(hi); i++ {
+			// Pair tiles of extreme-degree vertices are the largest
+			// indivisible units of phase 1, so cancellation is polled
+			// per h1 row to keep the response bounded by one row scan.
+			if pool.Cancelled() {
+				return found
+			}
 			h1 := uint32(nv[i])
 			// The h1(h1-1)/2 base is computed once per h1 and the
 			// row is scanned for consecutive h2 (§4.4.1).
@@ -271,13 +285,16 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 
 	runTasks := pool.RunTasks
 	if opt.WorkStealing {
-		runTasks = sched.NewStealingPool(pool.Workers()).RunTasks
+		runTasks = pool.Stealing().RunTasks
 	}
 	report := runTasks(len(tiles), func(worker, ti int) {
 		t := tiles[ti]
 		var localHHH, localHHN uint64
 		if t.vEnd > 0 { // vertex-range tile
 			for v := t.vStart; v < t.vEnd; v++ {
+				if pool.Cancelled() {
+					break
+				}
 				d := lg.HE.Degree(v)
 				if d < 2 {
 					continue
@@ -319,6 +336,9 @@ func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result) sched.LoadReport {
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			hv := lg.HE.Neighbors(uint32(v))
 			if len(hv) == 0 {
 				continue
@@ -349,12 +369,15 @@ func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int)
 	}
 	acc := sched.NewAccumulator(pool.Workers())
 	var total sched.LoadReport
-	for b := 0; b < blocks; b++ {
+	for b := 0; b < blocks && !pool.Cancelled(); b++ {
 		lo := uint32(hub + b*nonHubs/blocks)
 		hi := uint32(hub + (b+1)*nonHubs/blocks)
 		rep := pool.ForTimed(n, 0, func(worker, start, end int) {
 			var local uint64
 			for v := start; v < end; v++ {
+				if pool.Cancelled() {
+					break
+				}
 				hv := lg.HE.Neighbors(uint32(v))
 				if len(hv) == 0 {
 					continue
@@ -391,6 +414,9 @@ func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result) sched.LoadReport {
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
 		var local uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			nv := lg.NHE.Neighbors(uint32(v))
 			if len(nv) < 1 {
 				continue
@@ -415,6 +441,9 @@ func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result) sched.LoadReport
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
 		var localHNN, localNNN uint64
 		for v := start; v < end; v++ {
+			if pool.Cancelled() {
+				break
+			}
 			nv := lg.NHE.Neighbors(uint32(v))
 			hv := lg.HE.Neighbors(uint32(v))
 			for _, u := range nv {

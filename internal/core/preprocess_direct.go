@@ -43,6 +43,9 @@ func PreprocessDirect(g *graph.Graph, opt Options) *LotusGraph {
 	nheCnt := make([]int64, n+1)
 	pool.For(n, 0, func(_, start, end int) {
 		for vOld := start; vOld < end; vOld++ {
+			if pool.Cancelled() {
+				return
+			}
 			vNew := ra[vOld]
 			var he, nhe int64
 			for _, uOld := range g.Neighbors(uint32(vOld)) {
@@ -71,6 +74,9 @@ func PreprocessDirect(g *graph.Graph, opt Options) *LotusGraph {
 	// Pass 2 (Alg 2 lines 10-23): fill, set H2H, sort (setEdges).
 	pool.For(n, 0, func(_, start, end int) {
 		for vOld := start; vOld < end; vOld++ {
+			if pool.Cancelled() {
+				return
+			}
 			vNew := ra[vOld]
 			hw := he.offsets[vNew]
 			nw := nhe.offsets[vNew]

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"lotustc/internal/graph"
 	"lotustc/internal/sched"
 )
@@ -36,6 +38,9 @@ type RecursiveResult struct {
 	Total uint64
 	// Depth is the number of LOTUS splits performed (>= 1).
 	Depth int
+	// Preprocess accumulates the LOTUS graph construction time across
+	// all levels (each split preprocesses its sub-graph afresh).
+	Preprocess time.Duration
 }
 
 // RecursiveOptions tune CountRecursive.
@@ -65,6 +70,12 @@ func CountRecursive(g *graph.Graph, pool *sched.Pool, opt RecursiveOptions) *Rec
 	cur := g
 	for {
 		lg := Preprocess(cur, opt.Options)
+		rr.Preprocess += lg.PreprocessTime
+		if pool.Cancelled() {
+			// Torn down mid-level: return what completed; callers that
+			// care (the engine) check the context and discard.
+			return rr
+		}
 		last := rr.Depth+1 >= opt.MaxDepth || tooSmall(lg, opt.MinVertices)
 		copt := opt.Count
 		copt.SkipNNN = !last
@@ -74,6 +85,9 @@ func CountRecursive(g *graph.Graph, pool *sched.Pool, opt RecursiveOptions) *Rec
 		rr.Total += res.HHH + res.HHN + res.HNN
 		if last {
 			rr.Total += res.NNN
+			return rr
+		}
+		if pool.Cancelled() {
 			return rr
 		}
 		cur = lg.NonHubSubgraph()

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"time"
+
+	"lotustc/internal/baseline"
+	"lotustc/internal/core"
+)
+
+// The built-in registrations: the two LOTUS variants, the §5.1.4
+// comparators, and the §6.1 classics. Registration order is the
+// display order of every algorithm listing.
+func init() {
+	lotus := Capabilities{SupportsWorkers: true, ReportsPhases: true, NeedsSymmetric: true}
+	parallel := Capabilities{SupportsWorkers: true, NeedsSymmetric: true}
+	sequential := Capabilities{NeedsSymmetric: true}
+
+	MustRegister("lotus", lotus, lotusKernel)
+	MustRegister("lotus-recursive", lotus, lotusRecursiveKernel)
+	MustRegister("forward", parallel, forwardKernel(baseline.KernelMerge))
+	MustRegister("forward-binary", parallel, forwardKernel(baseline.KernelBinary))
+	MustRegister("forward-hash", parallel, forwardKernel(baseline.KernelHash))
+	MustRegister("edge-iterator", parallel, func(t *Task) (uint64, error) {
+		return baseline.EdgeIterator(t.Graph, t.Pool), nil
+	})
+	MustRegister("node-iterator", parallel, func(t *Task) (uint64, error) {
+		return baseline.NodeIterator(t.Graph, t.Pool), nil
+	})
+	MustRegister("gbbs", parallel, func(t *Task) (uint64, error) {
+		return baseline.GBBS(t.Graph, t.Pool), nil
+	})
+	MustRegister("bbtc", parallel, func(t *Task) (uint64, error) {
+		return baseline.BBTC(t.Graph, t.Pool, 0), nil
+	})
+	MustRegister("new-vertex-listing", parallel, func(t *Task) (uint64, error) {
+		return baseline.NewVertexListing(t.Graph, t.Pool), nil
+	})
+	MustRegister("node-iterator-core", sequential, func(t *Task) (uint64, error) {
+		return baseline.NodeIteratorCore(t.Graph, t.Pool), nil
+	})
+	MustRegister("ayz", parallel, func(t *Task) (uint64, error) {
+		return baseline.AYZ(t.Graph, t.Pool, 0), nil
+	})
+	MustRegister("forward-degeneracy", parallel, func(t *Task) (uint64, error) {
+		return baseline.ForwardDegeneracy(t.Graph, t.Pool, baseline.KernelMerge), nil
+	})
+}
+
+// lotusKernel runs flat LOTUS: Algorithm 2 preprocessing followed by
+// the three counting phases, all on the task's bound pool.
+func lotusKernel(t *Task) (uint64, error) {
+	lg := core.Preprocess(t.Graph, core.Options{
+		HubCount:      t.Params.HubCount,
+		FrontFraction: t.Params.FrontFraction,
+		Pool:          t.Pool,
+	})
+	t.Report.AddPhase(PhasePreprocess, lg.PreprocessTime)
+	if err := t.Err(); err != nil {
+		return 0, err
+	}
+	copt := core.CountOptions{
+		TileThreshold: t.Params.TileThreshold,
+		HNNBlocks:     t.Params.HNNBlocks,
+		WorkStealing:  t.Params.WorkStealing,
+	}
+	if t.Params.EdgeBalancedTiling {
+		copt.Partitioner = core.EdgeBalanced
+	}
+	cr := lg.CountWithOptions(t.Pool, copt)
+	t.Report.AddPhase(PhaseHub, cr.Phase1Time)
+	t.Report.AddPhase(PhaseHNN, cr.HNNTime)
+	t.Report.AddPhase(PhaseNNN, cr.NNNTime)
+	t.Report.HHH, t.Report.HHN, t.Report.HNN, t.Report.NNN = cr.HHH, cr.HHN, cr.HNN, cr.NNN
+	return cr.Total, nil
+}
+
+// lotusRecursiveKernel applies LOTUS recursively (§5.5/§7), folding
+// the per-level results into the report. The deepest level is the
+// only one whose NNN phase ran, so only its NNN count is real — and
+// on degenerate inputs (e.g. cancellation before the first level
+// completed) Levels can be empty, which must not panic.
+func lotusRecursiveKernel(t *Task) (uint64, error) {
+	rr := core.CountRecursive(t.Graph, t.Pool, core.RecursiveOptions{
+		Options: core.Options{
+			HubCount:      t.Params.HubCount,
+			FrontFraction: t.Params.FrontFraction,
+			Pool:          t.Pool,
+		},
+		MaxDepth: t.Params.MaxDepth,
+	})
+	if err := t.Err(); err != nil {
+		return 0, err
+	}
+	t.Report.RecursionDepth = rr.Depth
+	t.Report.AddPhase(PhasePreprocess, rr.Preprocess)
+	var phase1, hnn, nnn time.Duration
+	for _, lvl := range rr.Levels {
+		t.Report.HHH += lvl.HHH
+		t.Report.HHN += lvl.HHN
+		t.Report.HNN += lvl.HNN
+		phase1 += lvl.Phase1Time
+		hnn += lvl.HNNTime
+		nnn += lvl.NNNTime
+	}
+	t.Report.AddPhase(PhaseHub, phase1)
+	t.Report.AddPhase(PhaseHNN, hnn)
+	t.Report.AddPhase(PhaseNNN, nnn)
+	if len(rr.Levels) > 0 {
+		t.Report.NNN = rr.Levels[len(rr.Levels)-1].NNN
+	}
+	return rr.Total, nil
+}
+
+// forwardKernel builds a kernel for one Forward-family intersection
+// strategy.
+func forwardKernel(k baseline.Kernel) Kernel {
+	return func(t *Task) (uint64, error) {
+		return baseline.Forward(t.Graph, t.Pool, k), nil
+	}
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+// DefaultAlgorithm is used when Spec.Algorithm is empty.
+const DefaultAlgorithm = "lotus"
+
+// ErrNilGraph is returned by Run when the input graph is nil.
+var ErrNilGraph = errors.New("engine: nil graph")
+
+// Canonical phase names recorded by the LOTUS kernels. Baselines
+// record no phases (their preprocessing is fused into the kernel).
+const (
+	PhasePreprocess = "preprocess"
+	PhaseHub        = "phase1" // HHH + HHN against the H2H bit array
+	PhaseHNN        = "hnn"
+	PhaseNNN        = "nnn"
+)
+
+// Spec selects an algorithm and its tuning for one Run.
+type Spec struct {
+	// Algorithm is a registry name; empty selects DefaultAlgorithm.
+	Algorithm string
+	// Workers bounds parallelism; 0 uses GOMAXPROCS.
+	Workers int
+	// Timeout > 0 bounds the run's wall time on top of whatever
+	// deadline the caller's context already carries; exceeding it
+	// returns context.DeadlineExceeded.
+	Timeout time.Duration
+	// Params carries the algorithm tuning knobs.
+	Params Params
+}
+
+// Params are the tuning knobs kernels may honor; unknown knobs are
+// ignored by kernels that have no use for them.
+type Params struct {
+	// HubCount overrides the LOTUS hub count (0 = adaptive).
+	HubCount int
+	// FrontFraction overrides the §4.3.1 relabeling front block.
+	FrontFraction float64
+	// TileThreshold overrides the squared-edge-tiling degree cutoff.
+	TileThreshold int
+	// EdgeBalancedTiling switches phase 1 to the edge-balanced
+	// partitioner (Table 9's comparison policy).
+	EdgeBalancedTiling bool
+	// MaxDepth bounds the recursive LOTUS variant (0 = 2 levels).
+	MaxDepth int
+	// HNNBlocks > 1 enables the §7 blocked HNN phase.
+	HNNBlocks int
+	// WorkStealing schedules phase-1 tiles on work-stealing deques.
+	WorkStealing bool
+}
+
+// Phase is one timed stage of a run.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Report is the structured outcome of one engine run. Phases appear
+// in execution order; the class counters and RecursionDepth are
+// populated only by kernels whose capabilities declare ReportsPhases.
+type Report struct {
+	Algorithm string
+	Triangles uint64
+	// Elapsed is the end-to-end wall time including any in-kernel
+	// preprocessing (the Table 5 accounting).
+	Elapsed time.Duration
+	Phases  []Phase
+	// Triangle classes (Fig 7), LOTUS kernels only.
+	HHH, HHN, HNN, NNN uint64
+	// RecursionDepth reports levels used by the recursive variant.
+	RecursionDepth int
+}
+
+// AddPhase appends a timed stage to the report.
+func (r *Report) AddPhase(name string, d time.Duration) {
+	r.Phases = append(r.Phases, Phase{Name: name, Duration: d})
+}
+
+// Phase returns the total duration recorded under name (zero when the
+// kernel reported no such stage).
+func (r *Report) Phase(name string) time.Duration {
+	var d time.Duration
+	for _, p := range r.Phases {
+		if p.Name == name {
+			d += p.Duration
+		}
+	}
+	return d
+}
+
+// HubTriangles returns triangles containing at least one hub.
+func (r *Report) HubTriangles() uint64 { return r.HHH + r.HHN + r.HNN }
+
+// Task carries the per-run state a kernel operates on.
+type Task struct {
+	// Graph is the validated input graph.
+	Graph *graph.Graph
+	// Pool is the run's scheduler, bound to the run context: parallel
+	// regions stop at chunk claims once the context is done, and
+	// kernels poll Pool.Cancelled() on long sequential stretches.
+	Pool *sched.Pool
+	// Params are the tuning knobs from the Spec.
+	Params Params
+	// Report accumulates phase timings and class counters.
+	Report *Report
+
+	ctx context.Context
+}
+
+// Ctx returns the run context.
+func (t *Task) Ctx() context.Context { return t.ctx }
+
+// Err returns the run context's error, nil while the run is live.
+// Kernels check it between stages so a cancelled run stops before
+// starting the next phase.
+func (t *Task) Err() error { return t.ctx.Err() }
+
+// Run executes spec against g: it resolves the algorithm in the
+// registry, validates inputs at the engine boundary, binds the
+// scheduler to ctx (plus Spec.Timeout, if any), runs the kernel with
+// panic-to-error recovery, and returns the structured Report.
+//
+// Cancellation contract: if ctx is cancelled or the deadline passes
+// while the kernel runs, workers stop at the next chunk claim or
+// kernel poll point, and Run returns ctx.Err() (context.Canceled or
+// context.DeadlineExceeded). Partial results are never returned, and
+// no goroutines outlive the call.
+func Run(ctx context.Context, g *graph.Graph, spec Spec) (*Report, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	name := spec.Algorithm
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	reg, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if reg.Caps.NeedsSymmetric && g.Oriented {
+		return nil, fmt.Errorf("engine: algorithm %q requires a symmetric graph, got an oriented one", name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pool := sched.NewPool(spec.Workers).Bind(ctx)
+	defer pool.Release()
+
+	rep := &Report{Algorithm: name}
+	task := &Task{Graph: g, Pool: pool, Params: spec.Params, Report: rep, ctx: ctx}
+	start := time.Now()
+	tri, err := invoke(reg, task)
+	rep.Elapsed = time.Since(start)
+	// A done context wins over whatever the kernel returned: the
+	// structures it raced to fill are unspecified.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Triangles = tri
+	return rep, nil
+}
+
+// invoke runs the kernel, converting panics into errors so one bad
+// input or algorithm bug cannot take down a serving process.
+func invoke(reg Registration, task *Task) (tri uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: algorithm %q panicked: %v\n%s", reg.Name, r, debug.Stack())
+		}
+	}()
+	return reg.Kernel(task)
+}

@@ -10,7 +10,6 @@ import (
 	"lotustc/internal/core"
 	"lotustc/internal/kclique"
 	"lotustc/internal/reorder"
-	"lotustc/internal/sched"
 )
 
 // hashH2H is the §5.7 strawman: hub-to-hub adjacency in a hash set
@@ -77,7 +76,7 @@ func RunAblationH2H(w io.Writer, s Suite) {
 	fmt.Fprintln(w, "=== Ablation: H2H bit array vs hash set (phase 1, single thread) ===")
 	fmt.Fprintf(w, "%-12s %12s %12s %10s %14s %14s\n",
 		"dataset", "bitarray(s)", "hash(s)", "speedup", "bits bytes", "hash entries")
-	pool := sched.NewPool(0)
+	pool := s.NewPool(0)
 	for _, d := range s.Datasets() {
 		g := d.Build()
 		lg := core.Preprocess(g, core.Options{Pool: pool})
@@ -103,7 +102,7 @@ func RunAblationH2H(w io.Writer, s Suite) {
 // Forward algorithm (§6.3 design space; LOTUS picks merge join for
 // the short non-hub lists).
 func RunAblationIntersect(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Ablation: intersection kernels in the Forward algorithm ===")
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "dataset", "merge", "binary", "hash", "galloping")
 	kernels := []baseline.Kernel{baseline.KernelMerge, baseline.KernelBinary, baseline.KernelHash, baseline.KernelGalloping}
@@ -131,7 +130,7 @@ func RunAblationIntersect(w io.Writer, s Suite, workers int) {
 // top-10% first, original order preserved elsewhere) against full
 // degree ordering, which destroys the graph's initial locality.
 func RunAblationRelabel(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Ablation: Lotus relabeling vs full degree ordering ===")
 	fmt.Fprintf(w, "%-12s %14s %14s %14s %14s\n",
 		"dataset", "lotus pre(s)", "lotus count(s)", "degord pre(s)", "degord count(s)")
@@ -163,7 +162,7 @@ func RunAblationRelabel(w io.Writer, s Suite, workers int) {
 // RunAblationFused compares the split HNN/NNN loops (LOTUS, §4.5)
 // against the fused single-traversal alternative.
 func RunAblationFused(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Ablation: split vs fused HNN/NNN loops ===")
 	fmt.Fprintf(w, "%-12s %12s %12s %10s\n", "dataset", "split(s)", "fused(s)", "fused/split")
 	for _, d := range s.Datasets() {
@@ -185,7 +184,7 @@ func RunAblationFused(w io.Writer, s Suite, workers int) {
 // RunBaselinesClassic times the §6.1 classic algorithms LOTUS
 // descends from, next to Forward and LOTUS, on each dataset.
 func RunBaselinesClassic(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Classic algorithms (§6.1 lineage) vs Forward and Lotus ===")
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s\n",
 		"dataset", "nvl", "ni-core", "ayz", "forward", "lotus")
@@ -197,7 +196,7 @@ func RunBaselinesClassic(w io.Writer, s Suite, workers int) {
 		}
 		runs := []runT{
 			{"nvl", func() uint64 { return baseline.NewVertexListing(g, pool) }},
-			{"ni-core", func() uint64 { return baseline.NodeIteratorCore(g) }},
+			{"ni-core", func() uint64 { return baseline.NodeIteratorCore(g, pool) }},
 			{"ayz", func() uint64 { return baseline.AYZ(g, pool, 0) }},
 			{"forward", func() uint64 { return baseline.Forward(g, pool, baseline.KernelMerge) }},
 			{"lotus", func() uint64 { return core.Preprocess(g, core.Options{Pool: pool}).Count(pool).Total }},
@@ -228,7 +227,7 @@ func RunBaselinesClassic(w io.Writer, s Suite, workers int) {
 // relabeling, literal Alg 2). Fig 6's preprocessing-share claim
 // depends on this constant factor.
 func RunAblationPreprocess(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Ablation: Preprocess (materialize+split) vs PreprocessDirect (literal Alg 2) ===")
 	fmt.Fprintf(w, "%-12s %16s %16s %10s\n", "dataset", "materialize(s)", "direct(s)", "ratio")
 	for _, d := range s.Datasets() {
@@ -250,7 +249,7 @@ func RunAblationPreprocess(w io.Writer, s Suite, workers int) {
 // RunExtensionKClique compares the generic ordered k-clique counter
 // against the LOTUS-structured variant (§7 future work) for k=3..5.
 func RunExtensionKClique(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Extension: k-clique counting, generic vs Lotus-structured ===")
 	fmt.Fprintf(w, "%-12s %3s %14s %12s %12s %10s\n", "dataset", "k", "cliques", "generic(s)", "lotus(s)", "hub-share")
 	for _, d := range s.Datasets() {
@@ -293,7 +292,7 @@ func RunExtensionKClique(w io.Writer, s Suite, workers int) {
 // sampling probability: Doulion vs the §6.2 LOTUS hybrid (exact hub
 // triangles + sampled NNN).
 func RunExtensionApprox(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Extension: approximate TC, Doulion vs Lotus hybrid (p=0.3) ===")
 	fmt.Fprintf(w, "%-12s %14s %14s %14s %12s %12s\n",
 		"dataset", "truth", "doulion", "hybrid", "doulion err%", "hybrid err%")
@@ -329,7 +328,7 @@ func abs(x float64) float64 {
 // RunExtensionHNNBlocking evaluates the paper's second §7 bullet:
 // blocking the HNN phase to confine its random HE-row accesses.
 func RunExtensionHNNBlocking(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Extension: HNN blocking (§7) — HNN phase time by block count ===")
 	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n", "dataset", "unblocked", "4 blocks", "16 blocks", "64 blocks")
 	for _, d := range s.Datasets() {
@@ -353,7 +352,7 @@ func RunExtensionHNNBlocking(w io.Writer, s Suite, workers int) {
 // RunAblationRecursive compares flat LOTUS against the recursive
 // NHE-splitting extension (§5.5/§7).
 func RunAblationRecursive(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Extension: flat Lotus vs recursive NHE splitting ===")
 	fmt.Fprintf(w, "%-12s %12s %12s %8s %12s\n", "dataset", "flat(s)", "recursive(s)", "depth", "triangles")
 	for _, d := range s.Datasets() {

@@ -6,8 +6,11 @@
 package harness
 
 import (
+	"context"
+
 	"lotustc/internal/gen"
 	"lotustc/internal/graph"
+	"lotustc/internal/sched"
 )
 
 // Dataset is one synthetic stand-in for a paper dataset.
@@ -28,6 +31,26 @@ type Dataset struct {
 type Suite struct {
 	Scale      uint
 	EdgeFactor int
+	// Ctx, when non-nil, bounds every experiment run from this suite:
+	// pools built with NewPool are bound to it, and RunAll stops
+	// between experiments once it is done.
+	Ctx context.Context
+}
+
+// Context returns the suite's context, defaulting to Background.
+func (s Suite) Context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// NewPool builds a worker pool bound to the suite's context, so the
+// counting kernels it runs abort cooperatively when the suite's
+// deadline expires. Callers need not Release it: the watcher
+// goroutine exits with the context.
+func (s Suite) NewPool(workers int) *sched.Pool {
+	return sched.NewPool(workers).Bind(s.Context())
 }
 
 // DefaultSuite sizes experiments for a laptop-class run (scale-16

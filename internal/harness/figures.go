@@ -7,7 +7,6 @@ import (
 	"lotustc/internal/core"
 	"lotustc/internal/hwsim"
 	"lotustc/internal/perf"
-	"lotustc/internal/sched"
 	"lotustc/internal/stats"
 )
 
@@ -128,7 +127,7 @@ func RunMRC(w io.Writer, s Suite) {
 		fmt.Fprintf(w, " %9s", fmtBytes(int64(c)*64))
 	}
 	fmt.Fprintln(w)
-	pool := sched.NewPool(0)
+	pool := s.NewPool(0)
 	// The exact stack analysis is O(accesses * log(lines)): run it on
 	// a reduced copy of each dataset to keep the experiment fast.
 	rs := s
@@ -167,7 +166,7 @@ func fmtBytes(b int64) string {
 // RunFig6 reproduces Fig 6: the LOTUS execution breakdown across
 // preprocessing and the three counting phases.
 func RunFig6(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintln(w, "=== Fig 6: Lotus execution breakdown (seconds) ===")
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %8s %8s\n",
 		"dataset", "preproc", "HHH+HHN", "HNN", "NNN", "pre%", "NNN%ofTC")
@@ -194,7 +193,7 @@ func RunFig6(w io.Writer, s Suite, workers int) {
 
 // RunFig7 reproduces Fig 7: hub vs non-hub triangles counted by LOTUS.
 func RunFig7(w io.Writer, s Suite) {
-	pool := sched.NewPool(0)
+	pool := s.NewPool(0)
 	fmt.Fprintln(w, "=== Fig 7: hub vs non-hub triangles (Lotus hub set) ===")
 	fmt.Fprintf(w, "%-12s %14s %14s %9s %9s\n", "dataset", "hub tri", "non-hub tri", "hub%", "nonhub%")
 	var hubPct float64
@@ -215,7 +214,7 @@ func RunFig7(w io.Writer, s Suite) {
 // RunFig8 reproduces Fig 8: percentage of edges in the HE and NHE
 // sub-graphs.
 func RunFig8(w io.Writer, s Suite) {
-	pool := sched.NewPool(0)
+	pool := s.NewPool(0)
 	fmt.Fprintln(w, "=== Fig 8: edges in HE vs NHE sub-graphs ===")
 	fmt.Fprintf(w, "%-12s %14s %14s %9s %9s\n", "dataset", "HE edges", "NHE edges", "HE%", "NHE%")
 	var hePct float64
@@ -236,7 +235,7 @@ func RunFig8(w io.Writer, s Suite) {
 // satisfied by the most frequently accessed cachelines, plus the
 // §5.7 headline (lines needed for 90% coverage).
 func RunFig9(w io.Writer, s Suite) {
-	pool := sched.NewPool(0)
+	pool := s.NewPool(0)
 	fmt.Fprintln(w, "=== Fig 9: cumulative H2H accesses vs top cachelines ===")
 	ks := []float64{0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0}
 	fmt.Fprintf(w, "%-12s", "dataset")

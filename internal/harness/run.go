@@ -87,12 +87,21 @@ func IDs() []string {
 }
 
 // RunAll executes every experiment (skipping the fig5 alias) into w.
-func RunAll(w io.Writer, s Suite, workers int) {
+// When the suite carries a context it stops as soon as the context is
+// done — in-flight experiments finish cooperatively via their bound
+// pools — and returns the context's error.
+func RunAll(w io.Writer, s Suite, workers int) error {
+	ctx := s.Context()
 	for _, e := range Experiments() {
 		if e.ID == "fig5" {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(w, "(run aborted: %v)\n", err)
+			return err
+		}
 		e.Run(w, s, workers)
 		fmt.Fprintln(w)
 	}
+	return ctx.Err()
 }

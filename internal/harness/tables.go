@@ -72,7 +72,7 @@ func runAllAlgorithms(g *graph.Graph, pool *sched.Pool) []algoRun {
 // times for LOTUS vs the baselines, with per-dataset speedups, plus
 // the Fig 1 average TC rate (edges/second, end-to-end).
 func RunTable5(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	fmt.Fprintf(w, "=== Table 5: end-to-end TC execution times (seconds, %d workers) ===\n", pool.Workers())
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %12s\n",
 		"dataset", "BBTC", "GGrnd", "GAP", "GBBS", "Lotus", "triangles")
@@ -122,7 +122,7 @@ func RunTable7(w io.Writer, s Suite) {
 	fmt.Fprintln(w, "=== Table 7: size of topology data ===")
 	fmt.Fprintf(w, "%-12s %14s %14s %14s %9s\n",
 		"dataset", "CSX edges (B)", "CSX (B)", "Lotus (B)", "growth%")
-	pool := sched.NewPool(0)
+	pool := s.NewPool(0)
 	var growth float64
 	ds := s.Datasets()
 	for _, d := range ds {
@@ -154,7 +154,7 @@ func paperHubCount(n int) int {
 func RunTable8(w io.Writer, s Suite) {
 	fmt.Fprintln(w, "=== Table 8: Lotus H2H bit array characteristics ===")
 	fmt.Fprintf(w, "%-12s %12s %18s\n", "dataset", "density%", "zero cachelines%")
-	pool := sched.NewPool(0)
+	pool := s.NewPool(0)
 	for _, d := range s.Datasets() {
 		g := d.Build()
 		lg := core.Preprocess(g, core.Options{Pool: pool, HubCount: paperHubCount(g.NumVertices())})
@@ -232,7 +232,7 @@ func edgeBalancedChunkWork(lg *core.LotusGraph, parts int) []uint64 {
 // has fewer cores); the projected phase-1 speedup is the ratio of
 // simulated makespans.
 func RunTable9(w io.Writer, s Suite, workers int) {
-	pool := sched.NewPool(workers)
+	pool := s.NewPool(workers)
 	const simThreads = 32 // the paper's SkyLakeX thread count
 	fmt.Fprintf(w, "=== Table 9: phase-1 idle time, simulated at %d threads ===\n", simThreads)
 	// The imbalance of equal-edge-count chunks appears when one chunk

@@ -3,9 +3,18 @@
 // goroutine equivalent of the paper's work-stealing master/worker
 // runtime, §5.1.3), padded per-worker accumulators, and per-worker
 // busy-time measurement used for the Table 9 idle-time experiment.
+//
+// Pools support cooperative cancellation: Bind attaches a context,
+// after which every parallel region stops claiming work once the
+// context is done, and long-running kernels can poll Cancelled() on
+// their inner loops. Cancellation never interrupts a chunk midway by
+// force — the contract is purely cooperative, so partial results of a
+// cancelled region are unspecified and must be discarded by the
+// caller (the engine does this).
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +24,13 @@ import (
 // Pool executes parallel loops on a fixed number of workers.
 type Pool struct {
 	workers int
+	// Cancellation state, set by Bind. ctx is the bound context; stop
+	// flips to true when it is done (a single watcher goroutine owns
+	// the transition). Both are nil on an unbound pool, keeping the
+	// hot-path check to one predictable nil comparison.
+	ctx     context.Context
+	stop    *atomic.Bool
+	unwatch chan struct{}
 }
 
 // NewPool returns a pool with the given worker count; n <= 0 selects
@@ -29,6 +45,77 @@ func NewPool(n int) *Pool {
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// Bind returns a pool with the same worker count whose parallel
+// regions observe ctx: once ctx is done, workers stop claiming chunks
+// and Cancelled reports true. The receiver is not modified. Callers
+// must Release the bound pool when the run ends to stop the context
+// watcher; contexts that can never be cancelled bind for free.
+func (p *Pool) Bind(ctx context.Context) *Pool {
+	q := &Pool{workers: p.workers, ctx: ctx}
+	if done := ctx.Done(); done != nil {
+		q.stop = &atomic.Bool{}
+		q.unwatch = make(chan struct{})
+		go func(stop *atomic.Bool, unwatch chan struct{}) {
+			select {
+			case <-done:
+				stop.Store(true)
+			case <-unwatch:
+			}
+		}(q.stop, q.unwatch)
+	}
+	return q
+}
+
+// Release stops the context watcher started by Bind. It is a no-op on
+// unbound pools and safe to call once per Bind.
+func (p *Pool) Release() {
+	if p.unwatch != nil {
+		close(p.unwatch)
+		p.unwatch = nil
+	}
+}
+
+// Cancelled reports whether the bound context is done. It is cheap
+// enough for per-vertex polling on counting hot loops: a nil check on
+// unbound pools, one atomic load on bound ones.
+func (p *Pool) Cancelled() bool {
+	return p.stop != nil && p.stop.Load()
+}
+
+// Err returns the bound context's error once cancellation has been
+// observed, nil otherwise.
+func (p *Pool) Err() error {
+	if p.Cancelled() {
+		return p.ctx.Err()
+	}
+	return nil
+}
+
+// ForCtx is For with cooperative cancellation: ctx is observed at
+// every chunk claim, and the call returns ctx.Err() if the loop was
+// cut short. Iterations already started always run to completion.
+func (p *Pool) ForCtx(ctx context.Context, n, grain int, fn func(worker, start, end int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	q := p.Bind(ctx)
+	defer q.Release()
+	q.For(n, grain, fn)
+	return ctx.Err()
+}
+
+// RunTasksCtx is RunTasks with cooperative cancellation at task-claim
+// boundaries; it returns ctx.Err() if the task set was cut short.
+func (p *Pool) RunTasksCtx(ctx context.Context, nTasks int, fn func(worker, task int)) (LoadReport, error) {
+	if err := ctx.Err(); err != nil {
+		return LoadReport{}, err
+	}
+	q := p.Bind(ctx)
+	defer q.Release()
+	rep := q.RunTasks(nTasks, fn)
+	return rep, ctx.Err()
+}
+
 // For runs fn(worker, start, end) over disjoint chunks covering
 // [0, n). Chunks of size grain are claimed from a shared atomic
 // counter, so uneven iteration costs self-balance exactly like work
@@ -38,15 +125,30 @@ func (p *Pool) For(n, grain int, fn func(worker, start, end int)) {
 	if n <= 0 {
 		return
 	}
-	if p.workers == 1 {
-		fn(0, 0, n)
-		return
-	}
 	if grain <= 0 {
 		grain = n / (p.workers * 64)
 		if grain < 1 {
 			grain = 1
 		}
+	}
+	if p.workers == 1 {
+		if p.stop == nil {
+			fn(0, 0, n)
+			return
+		}
+		// Bound single-worker pools chunk the range so cancellation
+		// still lands at chunk boundaries.
+		for start := 0; start < n; start += grain {
+			if p.stop.Load() {
+				return
+			}
+			end := start + grain
+			if end > n {
+				end = n
+			}
+			fn(0, start, end)
+		}
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -55,6 +157,9 @@ func (p *Pool) For(n, grain int, fn func(worker, start, end int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if p.stop != nil && p.stop.Load() {
+					return
+				}
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
 					return
@@ -96,6 +201,9 @@ func (p *Pool) RunTasks(nTasks int, fn func(worker, task int)) LoadReport {
 	if p.workers == 1 {
 		s := time.Now()
 		for i := 0; i < nTasks; i++ {
+			if p.stop != nil && p.stop.Load() {
+				break
+			}
 			fn(0, i)
 		}
 		busy[0] = time.Since(s)
@@ -108,6 +216,9 @@ func (p *Pool) RunTasks(nTasks int, fn func(worker, task int)) LoadReport {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if p.stop != nil && p.stop.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= nTasks {
 					return

@@ -75,12 +75,27 @@ func (d *deque) steal() (int32, bool) {
 // stealing.
 type StealingPool struct {
 	workers int
+	// stop mirrors Pool's cancellation flag when the stealing pool is
+	// derived from a bound pool (Pool.Stealing); nil otherwise.
+	stop *atomic.Bool
 }
 
 // NewStealingPool returns a stealing pool with n workers (n <= 0
 // selects the Pool default).
 func NewStealingPool(n int) *StealingPool {
 	return &StealingPool{workers: NewPool(n).Workers()}
+}
+
+// Stealing returns a work-stealing pool with the same worker count as
+// p that inherits p's cancellation binding: once p's bound context is
+// done, the stealing workers stop popping and stealing tasks.
+func (p *Pool) Stealing() *StealingPool {
+	return &StealingPool{workers: p.workers, stop: p.stop}
+}
+
+// cancelled reports whether the inherited context is done.
+func (p *StealingPool) cancelled() bool {
+	return p.stop != nil && p.stop.Load()
 }
 
 // Workers returns the worker count.
@@ -100,6 +115,9 @@ func (p *StealingPool) RunTasks(nTasks int, fn func(worker, task int)) LoadRepor
 	if p.workers == 1 {
 		s := time.Now()
 		for i := 0; i < nTasks; i++ {
+			if p.cancelled() {
+				break
+			}
 			fn(0, i)
 		}
 		busy[0] = time.Since(s)
@@ -125,6 +143,9 @@ func (p *StealingPool) RunTasks(nTasks int, fn func(worker, task int)) LoadRepor
 				busy[worker] += time.Since(s)
 			}
 			for {
+				if p.cancelled() {
+					return
+				}
 				if task, ok := own.pop(); ok {
 					run(task)
 					continue

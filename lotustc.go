@@ -22,13 +22,11 @@
 package lotustc
 
 import (
-	"fmt"
+	"context"
 	"time"
 
-	"lotustc/internal/baseline"
-	"lotustc/internal/core"
+	"lotustc/internal/engine"
 	"lotustc/internal/graph"
-	"lotustc/internal/sched"
 )
 
 // Graph is the CSX graph type. Build one with FromEdges, a generator,
@@ -75,13 +73,16 @@ const (
 	AlgoForwardDegeneracy Algorithm = "forward-degeneracy"
 )
 
-// Algorithms lists every available algorithm.
+// Algorithms lists every available algorithm, in the engine's
+// registration order. Algorithms registered with engine.Register —
+// including third-party kernels — appear here automatically.
 func Algorithms() []Algorithm {
-	return []Algorithm{
-		AlgoLotus, AlgoLotusRecursive, AlgoForward, AlgoForwardBinary,
-		AlgoForwardHash, AlgoEdgeIterator, AlgoNodeIterator, AlgoGBBS, AlgoBBTC,
-		AlgoNewVertexListing, AlgoNodeIteratorCore, AlgoAYZ, AlgoForwardDegeneracy,
+	names := engine.Algorithms()
+	algos := make([]Algorithm, len(names))
+	for i, n := range names {
+		algos[i] = Algorithm(n)
 	}
+	return algos
 }
 
 // Options configure Count.
@@ -110,6 +111,10 @@ type Options struct {
 	// WorkStealing schedules phase-1 tiles on work-stealing deques
 	// (the paper's runtime model) instead of the shared counter.
 	WorkStealing bool
+	// Timeout bounds the whole count (0 = none). On expiry the count
+	// aborts cooperatively and Count returns
+	// context.DeadlineExceeded.
+	Timeout time.Duration
 }
 
 // Result reports one count. The phase fields are populated for the
@@ -145,69 +150,46 @@ func (r *Result) TCRate(edges int64) float64 {
 
 // Count counts the triangles of g with the selected algorithm. The
 // graph must be symmetric (as built by FromEdges or the generators).
+// It is CountContext with a background context; use Options.Timeout
+// or CountContext directly to bound the run.
 func Count(g *Graph, opt Options) (*Result, error) {
-	if opt.Algorithm == "" {
-		opt.Algorithm = AlgoLotus
+	return CountContext(context.Background(), g, opt)
+}
+
+// CountContext is Count with cooperative cancellation: when ctx is
+// cancelled (or Options.Timeout expires) the counting kernels stop at
+// their next scheduling boundary and the context's error is returned.
+// A cancelled count never returns a partial Result.
+func CountContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	rep, err := engine.Run(ctx, g, engine.Spec{
+		Algorithm: string(opt.Algorithm),
+		Workers:   opt.Workers,
+		Timeout:   opt.Timeout,
+		Params: engine.Params{
+			HubCount:           opt.HubCount,
+			FrontFraction:      opt.FrontFraction,
+			TileThreshold:      opt.TileThreshold,
+			EdgeBalancedTiling: opt.EdgeBalancedTiling,
+			MaxDepth:           opt.MaxDepth,
+			HNNBlocks:          opt.HNNBlocks,
+			WorkStealing:       opt.WorkStealing,
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	pool := sched.NewPool(opt.Workers)
-	res := &Result{Algorithm: opt.Algorithm}
-	start := time.Now()
-	switch opt.Algorithm {
-	case AlgoLotus:
-		lg := core.Preprocess(g, core.Options{
-			HubCount: opt.HubCount, FrontFraction: opt.FrontFraction, Pool: pool,
-		})
-		copt := core.CountOptions{
-			TileThreshold: opt.TileThreshold,
-			HNNBlocks:     opt.HNNBlocks,
-			WorkStealing:  opt.WorkStealing,
-		}
-		if opt.EdgeBalancedTiling {
-			copt.Partitioner = core.EdgeBalanced
-		}
-		cr := lg.CountWithOptions(pool, copt)
-		res.Triangles = cr.Total
-		res.Preprocess = lg.PreprocessTime
-		res.Phase1, res.HNNPhase, res.NNNPhase = cr.Phase1Time, cr.HNNTime, cr.NNNTime
-		res.HHH, res.HHN, res.HNN, res.NNN = cr.HHH, cr.HHN, cr.HNN, cr.NNN
-	case AlgoLotusRecursive:
-		rr := core.CountRecursive(g, pool, core.RecursiveOptions{
-			Options:  core.Options{HubCount: opt.HubCount, FrontFraction: opt.FrontFraction, Pool: pool},
-			MaxDepth: opt.MaxDepth,
-		})
-		res.Triangles = rr.Total
-		res.RecursionDepth = rr.Depth
-		for _, lvl := range rr.Levels {
-			res.HHH += lvl.HHH
-			res.HHN += lvl.HHN
-			res.HNN += lvl.HNN
-		}
-		res.NNN = rr.Levels[len(rr.Levels)-1].NNN
-	case AlgoForward:
-		res.Triangles = baseline.Forward(g, pool, baseline.KernelMerge)
-	case AlgoForwardBinary:
-		res.Triangles = baseline.Forward(g, pool, baseline.KernelBinary)
-	case AlgoForwardHash:
-		res.Triangles = baseline.Forward(g, pool, baseline.KernelHash)
-	case AlgoEdgeIterator:
-		res.Triangles = baseline.EdgeIterator(g, pool)
-	case AlgoNodeIterator:
-		res.Triangles = baseline.NodeIterator(g, pool)
-	case AlgoGBBS:
-		res.Triangles = baseline.GBBS(g, pool)
-	case AlgoBBTC:
-		res.Triangles = baseline.BBTC(g, pool, 0)
-	case AlgoNewVertexListing:
-		res.Triangles = baseline.NewVertexListing(g, pool)
-	case AlgoNodeIteratorCore:
-		res.Triangles = baseline.NodeIteratorCore(g)
-	case AlgoAYZ:
-		res.Triangles = baseline.AYZ(g, pool, 0)
-	case AlgoForwardDegeneracy:
-		res.Triangles = baseline.ForwardDegeneracy(g, pool, baseline.KernelMerge)
-	default:
-		return nil, fmt.Errorf("lotustc: unknown algorithm %q", opt.Algorithm)
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return &Result{
+		Algorithm:      Algorithm(rep.Algorithm),
+		Triangles:      rep.Triangles,
+		Elapsed:        rep.Elapsed,
+		Preprocess:     rep.Phase(engine.PhasePreprocess),
+		Phase1:         rep.Phase(engine.PhaseHub),
+		HNNPhase:       rep.Phase(engine.PhaseHNN),
+		NNNPhase:       rep.Phase(engine.PhaseNNN),
+		HHH:            rep.HHH,
+		HHN:            rep.HHN,
+		HNN:            rep.HNN,
+		NNN:            rep.NNN,
+		RecursionDepth: rep.RecursionDepth,
+	}, nil
 }
