@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench verify experiments fuzz clean
+.PHONY: all build test check race bench bench-report verify experiments fuzz clean
 
 all: build test
 
@@ -13,11 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
-# The pre-commit gate: static analysis plus the race-enabled short
-# test subset (large cancellation graphs shrink under -short).
+# The pre-commit gate: static analysis, the race-enabled short test
+# subset (large cancellation graphs shrink under -short), and a full
+# race-enabled pass over the observability and I/O-hardening surface
+# (concurrent counter publication and the corrupt-input corpus are
+# exactly where races and panics would hide).
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'TestReadLotusGraph|TestLotusGraphRoundTrip|TestStreaming' ./internal/core/
 
 race:
 	$(GO) test -race ./internal/... .
@@ -25,6 +30,11 @@ race:
 # One benchmark per paper table/figure (see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable comparator sweep with full metrics; BENCH_PR2.json
+# is the artifact future PRs diff for perf trajectories.
+bench-report:
+	$(GO) run ./cmd/lotus-bench -report json -scale 13 -o BENCH_PR2.json
 
 # Randomized cross-validation of every algorithm and extension.
 verify:
@@ -40,6 +50,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/graph
 	$(GO) test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=10s ./internal/graph
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/compress
+	$(GO) test -run=^$$ -fuzz=FuzzReadLotusGraph -fuzztime=10s ./internal/core
 
 clean:
 	$(GO) clean ./...

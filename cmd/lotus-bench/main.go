@@ -5,6 +5,7 @@
 //	lotus-bench -list
 //	lotus-bench -exp table5 [-scale 16] [-edgefactor 16] [-workers 0]
 //	lotus-bench -all [-scale 13]
+//	lotus-bench -report json -scale 13 -o BENCH.json   # machine-readable sweep
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact together with the paper's reported averages for
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"lotustc/internal/harness"
+	"lotustc/internal/obs"
 )
 
 func main() {
@@ -37,9 +39,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		edgeFactor = fs.Int("edgefactor", 16, "edges per vertex before dedup")
 		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		report     = fs.String("report", "text", "output format: text | json (comparator sweep, schema in DESIGN.md)")
+		out        = fs.String("o", "", "with -report json: write the report to this file instead of stdout")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *report != "text" && *report != "json" {
+		fmt.Fprintf(stderr, "lotus-bench: unknown -report format %q (want text or json)\n", *report)
+		return 2
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lotus-bench: -pprof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "lotus-bench: debug server on http://%s/debug/pprof/\n", addr)
 	}
 
 	if *list {
@@ -55,6 +72,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 	suite := harness.Suite{Scale: *scale, EdgeFactor: *edgeFactor, Ctx: ctx}
+	if *report == "json" {
+		br := harness.BuildBenchReport(suite, *workers)
+		w := stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(stderr, "lotus-bench: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := br.WriteJSON(w); err != nil {
+			fmt.Fprintf(stderr, "lotus-bench: %v\n", err)
+			return 1
+		}
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(stderr, "lotus-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	switch {
 	case *all:
 		if err := harness.RunAll(stdout, suite, *workers); err != nil {

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"lotustc/internal/obs"
 )
 
 func TestList(t *testing.T) {
@@ -39,5 +44,50 @@ func TestErrors(t *testing.T) {
 	}
 	if code := run([]string{"-wat"}, &stdout, &stderr); code != 2 {
 		t.Fatal("bad flag should exit 2")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-report", "json", "-scale", "8", "-edgefactor", "6", "-workers", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var br obs.BenchReport
+	if err := json.Unmarshal(stdout.Bytes(), &br); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if br.Schema != obs.SchemaBench || br.Suite != "scale-8/ef-6" || len(br.Runs) == 0 {
+		t.Fatalf("bad report: %+v", br)
+	}
+}
+
+func TestJSONReportToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-report", "json", "-scale", "8", "-edgefactor", "6", "-o", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("-o must leave stdout empty, got %q", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br obs.BenchReport
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Schema != obs.SchemaBench {
+		t.Fatalf("bad schema %q", br.Schema)
+	}
+}
+
+func TestJSONReportFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-report", "xml"}, &stdout, &stderr); code != 2 {
+		t.Fatal("unknown report format should exit 2")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"lotustc/internal/gen"
 	"lotustc/internal/graph"
 	"lotustc/internal/hwsim"
+	"lotustc/internal/obs"
 	"lotustc/internal/perf"
 	"lotustc/internal/sched"
 )
@@ -44,9 +45,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hubs      = fs.Int("hubs", 0, "LOTUS hub count (0 = adaptive)")
 		mrc       = fs.Bool("mrc", false, "print exact LRU miss-ratio curves instead of machine events")
 		timeout   = fs.Duration("timeout", 0, "abort the preprocessing after this long (0 = no limit)")
+		report    = fs.String("report", "text", "output format: text | json (machine-event report, schema in DESIGN.md)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *report != "text" && *report != "json" {
+		fmt.Fprintf(stderr, "lotus-perf: unknown -report format %q (want text or json)\n", *report)
+		return 2
+	}
+	if *report == "json" && *mrc {
+		fmt.Fprintln(stderr, "lotus-perf: -report json covers machine events only (drop -mrc)")
+		return 2
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lotus-perf: -pprof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "lotus-perf: debug server on http://%s/debug/pprof/\n", addr)
 	}
 
 	ctx := context.Background()
@@ -58,11 +77,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var g *graph.Graph
 	var err error
+	var source string
 	switch {
 	case *rmat > 0:
 		g = gen.RMAT(gen.DefaultRMAT(*rmat, *ef, *seed))
+		source = fmt.Sprintf("rmat-%d/ef-%d/seed-%d", *rmat, *ef, *seed)
 	case *graphPath != "":
 		g, err = graph.LoadFile(*graphPath)
+		source = "file:" + *graphPath
 	default:
 		fmt.Fprintln(stderr, "lotus-perf: need -graph or -rmat")
 		return 2
@@ -123,6 +145,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fwd.Triangles != lot.Triangles {
 		fmt.Fprintf(stderr, "lotus-perf: count mismatch %d vs %d\n", fwd.Triangles, lot.Triangles)
 		return 1
+	}
+	if *report == "json" {
+		rr := obs.NewRunReport("lotus-perf")
+		rr.Graph = obs.GraphInfo{Source: source, Vertices: int64(g.NumVertices()), Edges: g.NumEdges()}
+		rr.Algorithm = "lotus-vs-forward/" + cfg.Name
+		rr.Triangles = fwd.Triangles
+		events := func(e perf.Events) map[string]uint64 {
+			return map[string]uint64{
+				"llc_misses":    e.LLCMisses,
+				"dtlb_misses":   e.TLBMisses,
+				"mem_accesses":  e.MemAccesses,
+				"instructions":  e.Instructions,
+				"branch_misses": e.BranchMisses,
+				"est_cycles":    e.EstimatedCycles,
+			}
+		}
+		rr.Events = map[string]map[string]uint64{"forward": events(fwd), "lotus": events(lot)}
+		if err := rr.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "lotus-perf: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	fmt.Fprintf(stdout, "graph: %d vertices, %d edges, %d triangles; machine %s\n",
 		g.NumVertices(), g.NumEdges(), fwd.Triangles, cfg.Name)

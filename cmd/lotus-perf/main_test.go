@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"lotustc/internal/obs"
 )
 
 func TestEvents(t *testing.T) {
@@ -54,5 +57,42 @@ func TestErrors(t *testing.T) {
 	}
 	if code := run([]string{"-zap"}, &stdout, &stderr); code != 2 {
 		t.Fatal("bad flag should exit 2")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rmat", "8", "-edgefactor", "6", "-report", "json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var rr obs.RunReport
+	if err := json.Unmarshal(stdout.Bytes(), &rr); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if rr.Schema != obs.SchemaRun || rr.Tool != "lotus-perf" {
+		t.Fatalf("bad envelope: %+v", rr)
+	}
+	for _, kernel := range []string{"forward", "lotus"} {
+		ev := rr.Events[kernel]
+		if ev == nil {
+			t.Fatalf("events for %q missing", kernel)
+		}
+		for _, name := range []string{"llc_misses", "dtlb_misses", "mem_accesses",
+			"instructions", "branch_misses", "est_cycles"} {
+			if _, ok := ev[name]; !ok {
+				t.Errorf("%s: event %q missing", kernel, name)
+			}
+		}
+	}
+}
+
+func TestJSONReportFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rmat", "8", "-report", "toml"}, &stdout, &stderr); code != 2 {
+		t.Fatal("unknown report format should exit 2")
+	}
+	if code := run([]string{"-rmat", "8", "-report", "json", "-mrc"}, &stdout, &stderr); code != 2 {
+		t.Fatal("-report json with -mrc should exit 2")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"lotustc"
 	"lotustc/internal/engine"
 	"lotustc/internal/graph"
+	"lotustc/internal/obs"
 )
 
 func main() {
@@ -41,9 +42,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		k         = fs.Int("k", 3, "clique size: 3 counts triangles; k > 3 counts k-cliques")
 		timeout   = fs.Duration("timeout", 0, "abort the count after this long (0 = no limit)")
 		verbose   = fs.Bool("v", false, "print breakdown and class split")
+		report    = fs.String("report", "text", "output format: text | json (run report, schema in DESIGN.md)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *report != "text" && *report != "json" {
+		fmt.Fprintf(stderr, "lotus-tc: unknown -report format %q (want text or json)\n", *report)
+		return 2
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lotus-tc: -pprof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "lotus-tc: debug server on http://%s/debug/pprof/\n", addr)
 	}
 
 	if *algos {
@@ -62,11 +77,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var g *lotustc.Graph
 	var err error
+	var source string
 	switch {
 	case *rmat > 0:
 		g = lotustc.RMAT(*rmat, *ef, *seed)
+		source = fmt.Sprintf("rmat-%d/ef-%d/seed-%d", *rmat, *ef, *seed)
 	case *graphPath != "":
 		g, err = lotustc.LoadGraph(*graphPath)
+		source = "file:" + *graphPath
 	case *edgeList != "":
 		var f *os.File
 		f, err = os.Open(*edgeList)
@@ -74,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			g, err = graph.ReadEdgeList(f)
 			f.Close()
 		}
+		source = "edgelist:" + *edgeList
 	default:
 		fmt.Fprintln(stderr, "lotus-tc: need -graph, -edgelist or -rmat")
 		return 2
@@ -84,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *k > 3 {
+		if *report == "json" {
+			fmt.Fprintln(stderr, "lotus-tc: -report json covers triangle counting only (k = 3)")
+			return 2
+		}
 		cliques, err := lotustc.CountKCliques(g, *k, lotustc.Options{
 			Algorithm: lotustc.Algorithm(*algo), Workers: *workers, HubCount: *hubs,
 		})
@@ -97,11 +120,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res, err := lotustc.Count(g, lotustc.Options{
-		Algorithm: lotustc.Algorithm(*algo),
-		Workers:   *workers,
-		HubCount:  *hubs,
-		Timeout:   *timeout,
+		Algorithm:      lotustc.Algorithm(*algo),
+		Workers:        *workers,
+		HubCount:       *hubs,
+		Timeout:        *timeout,
+		CollectMetrics: *report == "json",
 	})
+	if *report == "json" {
+		rr := obs.NewRunReport("lotus-tc")
+		rr.Graph = obs.GraphInfo{Source: source, Vertices: int64(g.NumVertices()), Edges: g.NumEdges()}
+		rr.Algorithm = *algo
+		if err != nil {
+			rr.Error = err.Error()
+			rr.WriteJSON(stdout)
+			return 1
+		}
+		fillRunReport(rr, res)
+		if werr := rr.WriteJSON(stdout); werr != nil {
+			fmt.Fprintf(stderr, "lotus-tc: %v\n", werr)
+			return 1
+		}
+		return 0
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "lotus-tc: %v\n", err)
 		return 1
@@ -121,4 +161,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.HHH, res.HHN, res.HNN, res.NNN, 100*float64(res.HubTriangles())/total)
 	}
 	return 0
+}
+
+// fillRunReport copies a count Result into the machine-readable
+// report. Phase rows and the class split are meaningful for the LOTUS
+// kernels only; baselines carry their timings in the metrics map
+// ("baseline.preprocess.ns", "baseline.count.ns").
+func fillRunReport(rr *obs.RunReport, res *lotustc.Result) {
+	rr.Triangles = res.Triangles
+	rr.ElapsedNS = res.Elapsed.Nanoseconds()
+	rr.Metrics = res.Metrics
+	if w, ok := res.Metrics["run.workers"]; ok {
+		rr.Workers = int(w)
+	}
+	if res.Algorithm == lotustc.AlgoLotus || res.Algorithm == lotustc.AlgoLotusRecursive {
+		rr.Phases = []obs.PhaseNS{
+			{Name: "preprocess", NS: res.Preprocess.Nanoseconds()},
+			{Name: "phase1", NS: res.Phase1.Nanoseconds()},
+			{Name: "hnn", NS: res.HNNPhase.Nanoseconds()},
+			{Name: "nnn", NS: res.NNNPhase.Nanoseconds()},
+		}
+		rr.Classes = &obs.Classes{HHH: res.HHH, HHN: res.HHN, HNN: res.HNN, NNN: res.NNN}
+	}
 }

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"lotustc"
+	"lotustc/internal/obs"
 )
 
 func runTC(t *testing.T, args ...string) (int, string, string) {
@@ -120,5 +122,66 @@ func TestErrors(t *testing.T) {
 	}
 	if code, _, _ := runTC(t, "-badflag"); code != 2 {
 		t.Fatal("bad flag should exit 2")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	code, out, errOut := runTC(t, "-rmat", "9", "-edgefactor", "8", "-report", "json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rr obs.RunReport
+	if err := json.Unmarshal([]byte(out), &rr); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out)
+	}
+	if rr.Schema != obs.SchemaRun || rr.Tool != "lotus-tc" || rr.Algorithm != "lotus" {
+		t.Fatalf("bad envelope: %+v", rr)
+	}
+	if rr.Triangles == 0 || rr.ElapsedNS <= 0 {
+		t.Fatalf("empty result: %+v", rr)
+	}
+	phases := map[string]bool{}
+	for _, p := range rr.Phases {
+		phases[p.Name] = true
+	}
+	for _, name := range []string{"preprocess", "phase1", "hnn", "nnn"} {
+		if !phases[name] {
+			t.Errorf("phase %q missing from JSON report", name)
+		}
+	}
+	if rr.Classes == nil {
+		t.Error("class split missing")
+	}
+	for _, name := range []string{"phase1.steals", "phase1.h2h_probes", "hnn.he_intersections",
+		"nnn.nhe_intersections", "lotus.h2h_bits", "run.workers"} {
+		if _, ok := rr.Metrics[name]; !ok {
+			t.Errorf("metric %q missing from JSON report", name)
+		}
+	}
+}
+
+func TestJSONReportBaseline(t *testing.T) {
+	code, out, errOut := runTC(t, "-rmat", "8", "-edgefactor", "6", "-algo", "forward", "-report", "json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rr obs.RunReport
+	if err := json.Unmarshal([]byte(out), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rr.Metrics["baseline.count.ns"]; !ok {
+		t.Fatalf("baseline metrics missing: %v", rr.Metrics)
+	}
+	if rr.Classes != nil {
+		t.Fatal("baseline run must not report a class split")
+	}
+}
+
+func TestJSONReportFlagValidation(t *testing.T) {
+	if code, _, _ := runTC(t, "-rmat", "6", "-report", "yaml"); code != 2 {
+		t.Fatal("unknown report format should exit 2")
+	}
+	if code, _, _ := runTC(t, "-rmat", "6", "-k", "4", "-report", "json"); code != 2 {
+		t.Fatal("-report json with k-cliques should exit 2")
 	}
 }

@@ -18,8 +18,11 @@
 package baseline
 
 import (
+	"time"
+
 	"lotustc/internal/graph"
 	"lotustc/internal/intersect"
+	"lotustc/internal/obs"
 	"lotustc/internal/reorder"
 	"lotustc/internal/sched"
 )
@@ -67,15 +70,35 @@ func prepareForward(g *graph.Graph) *graph.Graph {
 // for every v and u ∈ N^<_v accumulate |N^<_v ∩ N^<_u|. End-to-end:
 // includes its own preprocessing.
 func Forward(g *graph.Graph, pool *sched.Pool, kernel Kernel) uint64 {
+	return ForwardWithMetrics(g, pool, kernel, nil)
+}
+
+// ForwardWithMetrics is Forward with observability: when m is non-nil
+// it records baseline.preprocess.ns, baseline.oriented_edges,
+// baseline.count.ns and baseline.intersections. Counters accumulate
+// worker-locally and publish in bulk, so a nil m costs nothing in the
+// hot loop.
+func ForwardWithMetrics(g *graph.Graph, pool *sched.Pool, kernel Kernel, m *obs.Metrics) uint64 {
+	t0 := time.Now()
 	og := prepareForward(g)
-	return CountOriented(og, pool, kernel)
+	m.AddDuration("baseline.preprocess.ns", time.Since(t0))
+	m.Set("baseline.oriented_edges", g.NumEdges())
+	return CountOrientedWithMetrics(og, pool, kernel, m)
 }
 
 // CountOriented counts triangles on an already-oriented graph with
 // the chosen kernel, parallelized over vertices.
 func CountOriented(og *graph.Graph, pool *sched.Pool, kernel Kernel) uint64 {
+	return CountOrientedWithMetrics(og, pool, kernel, nil)
+}
+
+// CountOrientedWithMetrics is CountOriented recording
+// baseline.count.ns and baseline.intersections into m (nil disables).
+func CountOrientedWithMetrics(og *graph.Graph, pool *sched.Pool, kernel Kernel, m *obs.Metrics) uint64 {
+	t0 := time.Now()
 	n := og.NumVertices()
 	acc := sched.NewAccumulator(pool.Workers())
+	inter := sched.NewAccumulator(pool.Workers())
 	// Per-worker hash sets sized to the max degree, reused across
 	// intersections (allocation-free hot loop).
 	var hashes []*intersect.HashSet
@@ -87,12 +110,13 @@ func CountOriented(og *graph.Graph, pool *sched.Pool, kernel Kernel) uint64 {
 		}
 	}
 	pool.For(n, 0, func(worker, start, end int) {
-		var local uint64
+		var local, sets uint64
 		for v := start; v < end; v++ {
 			if pool.Cancelled() {
 				break
 			}
 			nv := og.Neighbors(uint32(v))
+			sets += uint64(len(nv))
 			for _, u := range nv {
 				nu := og.Neighbors(u)
 				switch kernel {
@@ -112,7 +136,10 @@ func CountOriented(og *graph.Graph, pool *sched.Pool, kernel Kernel) uint64 {
 			}
 		}
 		acc.Add(worker, local)
+		inter.Add(worker, sets)
 	})
+	m.Add("baseline.intersections", int64(inter.Sum()))
+	m.AddDuration("baseline.count.ns", time.Since(t0))
 	return acc.Sum()
 }
 

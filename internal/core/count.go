@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lotustc/internal/intersect"
+	"lotustc/internal/obs"
 	"lotustc/internal/sched"
 )
 
@@ -66,6 +67,13 @@ type CountOptions struct {
 	// recursive LOTUS split of the non-hub sub-graph; the approx
 	// package replaces it with sampling (§6.2).
 	SkipNNN bool
+	// Metrics, when non-nil, receives the per-phase observability
+	// counters (phase timings, tile/probe/intersection counts,
+	// scheduler claims and steals, cancellation polls — names in
+	// DESIGN.md). Counts are accumulated worker-locally and published
+	// in bulk at phase boundaries, so a nil Metrics costs nothing on
+	// the hot path.
+	Metrics *obs.Metrics
 }
 
 // DefaultTileThreshold is the paper's tiling cutoff (§5.8).
@@ -106,10 +114,14 @@ func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Resu
 		opt.TilesPerVertex = 2 * pool.Workers()
 	}
 	res := &Result{}
+	m := opt.Metrics
 
 	t0 := time.Now()
 	res.Phase1Load = lg.countPhase1(pool, opt, res)
 	res.Phase1Time = time.Since(t0)
+	m.AddDuration("phase1.ns", res.Phase1Time)
+	m.Add("phase1.claims", res.Phase1Load.Claims)
+	m.Add("phase1.steals", res.Phase1Load.Steals)
 	if pool.Cancelled() {
 		// The run is being torn down: skip the remaining phases; the
 		// engine discards the partial result.
@@ -119,30 +131,37 @@ func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Resu
 	switch {
 	case opt.SkipNNN:
 		t1 := time.Now()
-		res.HNNLoad = lg.countHNN(pool, res)
+		res.HNNLoad = lg.countHNN(pool, res, m)
 		res.HNNTime = time.Since(t1)
+		m.Add("hnn.claims", res.HNNLoad.Claims)
 	case opt.FuseHNNAndNNN:
 		t1 := time.Now()
-		res.HNNLoad = lg.countFused(pool, res)
+		res.HNNLoad = lg.countFused(pool, res, m)
 		d := time.Since(t1)
 		res.HNNTime, res.NNNTime = d/2, d/2
 		res.NNNLoad = res.HNNLoad
+		// One fused region: its claims are attributed to HNN only.
+		m.Add("hnn.claims", res.HNNLoad.Claims)
 	default:
 		t1 := time.Now()
 		if opt.HNNBlocks > 1 {
-			res.HNNLoad = lg.countHNNBlocked(pool, res, opt.HNNBlocks)
+			res.HNNLoad = lg.countHNNBlocked(pool, res, opt.HNNBlocks, m)
 		} else {
-			res.HNNLoad = lg.countHNN(pool, res)
+			res.HNNLoad = lg.countHNN(pool, res, m)
 		}
 		res.HNNTime = time.Since(t1)
+		m.Add("hnn.claims", res.HNNLoad.Claims)
 		if pool.Cancelled() {
 			return res
 		}
 
 		t2 := time.Now()
-		res.NNNLoad = lg.countNNN(pool, res)
+		res.NNNLoad = lg.countNNN(pool, res, m)
 		res.NNNTime = time.Since(t2)
+		m.Add("nnn.claims", res.NNNLoad.Claims)
 	}
+	m.AddDuration("hnn.ns", res.HNNTime)
+	m.AddDuration("nnn.ns", res.NNNTime)
 
 	res.Total = res.HHH + res.HHN + res.HNN + res.NNN
 	return res
@@ -260,15 +279,20 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 	tiles := lg.phase1Tiles(opt, pool.Workers())
 	hhh := sched.NewAccumulator(pool.Workers())
 	hhn := sched.NewAccumulator(pool.Workers())
+	// Observability counters, accumulated worker-locally like the
+	// triangle counts: H2H probes (pair tests) and cancellation polls.
+	probes := sched.NewAccumulator(pool.Workers())
+	polls := sched.NewAccumulator(pool.Workers())
 
-	processPairs := func(v uint32, lo, hi uint32) (found uint64) {
+	processPairs := func(v uint32, lo, hi uint32) (found, pairs, rows uint64) {
 		nv := lg.HE.Neighbors(v)
 		for i := int(lo); i < int(hi); i++ {
 			// Pair tiles of extreme-degree vertices are the largest
 			// indivisible units of phase 1, so cancellation is polled
 			// per h1 row to keep the response bounded by one row scan.
+			rows++
 			if pool.Cancelled() {
-				return found
+				return found, pairs, rows
 			}
 			h1 := uint32(nv[i])
 			// The h1(h1-1)/2 base is computed once per h1 and the
@@ -279,8 +303,9 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 					found++
 				}
 			}
+			pairs += uint64(i)
 		}
-		return found
+		return found, pairs, rows
 	}
 
 	runTasks := pool.RunTasks
@@ -289,9 +314,10 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 	}
 	report := runTasks(len(tiles), func(worker, ti int) {
 		t := tiles[ti]
-		var localHHH, localHHN uint64
+		var localHHH, localHHN, localProbes, localPolls uint64
 		if t.vEnd > 0 { // vertex-range tile
 			for v := t.vStart; v < t.vEnd; v++ {
+				localPolls++
 				if pool.Cancelled() {
 					break
 				}
@@ -299,7 +325,9 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 				if d < 2 {
 					continue
 				}
-				found := processPairs(v, 1, uint32(d))
+				found, pairs, rows := processPairs(v, 1, uint32(d))
+				localProbes += pairs
+				localPolls += rows
 				if v < lg.HubCount {
 					localHHH += found
 				} else {
@@ -311,7 +339,9 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 			if lo < 1 {
 				lo = 1
 			}
-			found := processPairs(t.vStart, lo, t.hi)
+			found, pairs, rows := processPairs(t.vStart, lo, t.hi)
+			localProbes += pairs
+			localPolls += rows
 			if t.vStart < lg.HubCount {
 				localHHH += found
 			} else {
@@ -320,9 +350,14 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 		}
 		hhh.Add(worker, localHHH)
 		hhn.Add(worker, localHHN)
+		probes.Add(worker, localProbes)
+		polls.Add(worker, localPolls)
 	})
 	res.HHH = hhh.Sum()
 	res.HHN = hhn.Sum()
+	opt.Metrics.Add("phase1.tiles", int64(len(tiles)))
+	opt.Metrics.Add("phase1.h2h_probes", int64(probes.Sum()))
+	opt.Metrics.Add("phase1.polls", int64(polls.Sum()))
 	return report
 }
 
@@ -330,12 +365,15 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 // v and non-hub neighbour u, the common hub neighbours |HE.N_v ∩
 // HE.N_u| each close a triangle. Random accesses touch only HE rows,
 // 2 bytes per edge (§4.5, Table 2).
-func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result) sched.LoadReport {
+func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result, m *obs.Metrics) sched.LoadReport {
 	n := lg.numVertices
 	acc := sched.NewAccumulator(pool.Workers())
+	inter := sched.NewAccumulator(pool.Workers())
+	polls := sched.NewAccumulator(pool.Workers())
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
-		var local uint64
+		var local, localInter, localPolls uint64
 		for v := start; v < end; v++ {
+			localPolls++
 			if pool.Cancelled() {
 				break
 			}
@@ -343,13 +381,19 @@ func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result) sched.LoadReport {
 			if len(hv) == 0 {
 				continue
 			}
-			for _, u := range lg.NHE.Neighbors(uint32(v)) {
+			nhe := lg.NHE.Neighbors(uint32(v))
+			localInter += uint64(len(nhe))
+			for _, u := range nhe {
 				local += intersect.Merge16(hv, lg.HE.Neighbors(u))
 			}
 		}
 		acc.Add(worker, local)
+		inter.Add(worker, localInter)
+		polls.Add(worker, localPolls)
 	})
 	res.HNN = acc.Sum()
+	m.Add("hnn.he_intersections", int64(inter.Sum()))
+	m.Add("hnn.polls", int64(polls.Sum()))
 	return rep
 }
 
@@ -359,7 +403,7 @@ func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result) sched.LoadReport {
 // neighbours u inside the range, confining the random HE.N_u loads
 // of a pass to that range's rows. NHE neighbour lists are sorted, so
 // each pass visits a contiguous sub-list located by binary search.
-func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int) sched.LoadReport {
+func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int, m *obs.Metrics) sched.LoadReport {
 	n := lg.numVertices
 	hub := int(lg.HubCount)
 	nonHubs := n - hub
@@ -368,13 +412,16 @@ func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int)
 		return sched.LoadReport{}
 	}
 	acc := sched.NewAccumulator(pool.Workers())
+	inter := sched.NewAccumulator(pool.Workers())
+	polls := sched.NewAccumulator(pool.Workers())
 	var total sched.LoadReport
 	for b := 0; b < blocks && !pool.Cancelled(); b++ {
 		lo := uint32(hub + b*nonHubs/blocks)
 		hi := uint32(hub + (b+1)*nonHubs/blocks)
 		rep := pool.ForTimed(n, 0, func(worker, start, end int) {
-			var local uint64
+			var local, localInter, localPolls uint64
 			for v := start; v < end; v++ {
+				localPolls++
 				if pool.Cancelled() {
 					break
 				}
@@ -386,13 +433,18 @@ func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int)
 				// Sub-list of neighbours inside [lo, hi).
 				a := sort.Search(len(nhe), func(i int) bool { return nhe[i] >= lo })
 				bnd := sort.Search(len(nhe), func(i int) bool { return nhe[i] >= hi })
+				localInter += uint64(bnd - a)
 				for _, u := range nhe[a:bnd] {
 					local += intersect.Merge16(hv, lg.HE.Neighbors(u))
 				}
 			}
 			acc.Add(worker, local)
+			inter.Add(worker, localInter)
+			polls.Add(worker, localPolls)
 		})
 		total.Wall += rep.Wall
+		total.Claims += rep.Claims
+		total.Steals += rep.Steals
 		if total.Busy == nil {
 			total.Busy = append([]time.Duration(nil), rep.Busy...)
 		} else {
@@ -402,18 +454,24 @@ func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int)
 		}
 	}
 	res.HNN = acc.Sum()
+	m.Add("hnn.he_intersections", int64(inter.Sum()))
+	m.Add("hnn.polls", int64(polls.Sum()))
+	m.Add("hnn.blocks", int64(blocks))
 	return total
 }
 
 // countNNN counts NNN triangles (Alg 3 lines 10-12): the Forward
 // algorithm restricted to the NHE sub-graph, with merge join
 // (§4.4.3). Hub edges are never touched — the §3.3 pruning.
-func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result) sched.LoadReport {
+func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result, m *obs.Metrics) sched.LoadReport {
 	n := lg.numVertices
 	acc := sched.NewAccumulator(pool.Workers())
+	inter := sched.NewAccumulator(pool.Workers())
+	polls := sched.NewAccumulator(pool.Workers())
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
-		var local uint64
+		var local, localInter, localPolls uint64
 		for v := start; v < end; v++ {
+			localPolls++
 			if pool.Cancelled() {
 				break
 			}
@@ -421,31 +479,40 @@ func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result) sched.LoadReport {
 			if len(nv) < 1 {
 				continue
 			}
+			localInter += uint64(len(nv))
 			for _, u := range nv {
 				local += intersect.Merge(nv, lg.NHE.Neighbors(u))
 			}
 		}
 		acc.Add(worker, local)
+		inter.Add(worker, localInter)
+		polls.Add(worker, localPolls)
 	})
 	res.NNN = acc.Sum()
+	m.Add("nnn.nhe_intersections", int64(inter.Sum()))
+	m.Add("nnn.polls", int64(polls.Sum()))
 	return rep
 }
 
 // countFused runs the HNN and NNN intersections inside one traversal
 // of NHE — the loop fusion §4.5 rejects because it enlarges the
 // working set of randomly accessed data. Kept for the ablation bench.
-func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result) sched.LoadReport {
+func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result, m *obs.Metrics) sched.LoadReport {
 	n := lg.numVertices
 	hnn := sched.NewAccumulator(pool.Workers())
 	nnn := sched.NewAccumulator(pool.Workers())
+	inter := sched.NewAccumulator(pool.Workers())
+	polls := sched.NewAccumulator(pool.Workers())
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
-		var localHNN, localNNN uint64
+		var localHNN, localNNN, localInter, localPolls uint64
 		for v := start; v < end; v++ {
+			localPolls++
 			if pool.Cancelled() {
 				break
 			}
 			nv := lg.NHE.Neighbors(uint32(v))
 			hv := lg.HE.Neighbors(uint32(v))
+			localInter += uint64(len(nv))
 			for _, u := range nv {
 				if len(hv) > 0 {
 					localHNN += intersect.Merge16(hv, lg.HE.Neighbors(u))
@@ -455,8 +522,13 @@ func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result) sched.LoadReport
 		}
 		hnn.Add(worker, localHNN)
 		nnn.Add(worker, localNNN)
+		inter.Add(worker, localInter)
+		polls.Add(worker, localPolls)
 	})
 	res.HNN = hnn.Sum()
 	res.NNN = nnn.Sum()
+	m.Add("hnn.he_intersections", int64(inter.Sum()))
+	m.Add("nnn.nhe_intersections", int64(inter.Sum()))
+	m.Add("hnn.polls", int64(polls.Sum()))
 	return rep
 }

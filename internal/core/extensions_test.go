@@ -332,3 +332,19 @@ func TestStreamingNoHubs(t *testing.T) {
 		t.Fatalf("no-hub stream: hub=%d nnn=%d, want 0/10", s.HubTriangles(), nnn)
 	}
 }
+
+// TestStreamingHubVertexEager: the dense-index -> vertex reverse
+// table is built in NewStreaming, not lazily on the first hub-edge
+// arrival (the lazy build hid an O(n) scan in the hot path and wrote
+// shared state on a read-looking call).
+func TestStreamingHubVertexEager(t *testing.T) {
+	s := NewStreaming(10, []uint32{7, 3, 9})
+	if len(s.hubVertex) != 3 {
+		t.Fatalf("hubVertex len %d, want 3 (built in NewStreaming)", len(s.hubVertex))
+	}
+	for i, want := range []uint32{7, 3, 9} {
+		if got := s.hubVertexSlotInv(int32(i)); got != want {
+			t.Fatalf("hubVertexSlotInv(%d) = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -86,19 +86,41 @@ func ReadLotusGraph(r io.Reader) (*LotusGraph, error) {
 	if version != lotusVersion {
 		return nil, fmt.Errorf("core: unsupported version %d", version)
 	}
-	if nv >= 1<<32 || heE > (nv+1)*(nv+1) || nheE > (nv+1)*(nv+1) {
-		return nil, fmt.Errorf("core: implausible header (V=%d, HE=%d, NHE=%d)", nv, heE, nheE)
+	// Every size in the header is untrusted: validate it arithmetically
+	// (overflow-safe — nv < 2^32 keeps nv*(nv-1) inside uint64) before
+	// any size-derived allocation, so a corrupt header produces an
+	// error rather than an OOM or a panic.
+	if nv >= 1<<32 {
+		return nil, fmt.Errorf("core: implausible vertex count %d", nv)
+	}
+	maxEdges := nv * (nv - 1) / 2
+	if nv == 0 {
+		maxEdges = 0
+	}
+	if heE > maxEdges || nheE > maxEdges {
+		return nil, fmt.Errorf("core: implausible header (V=%d, HE=%d, NHE=%d, max=%d)", nv, heE, nheE, maxEdges)
 	}
 	if uint64(hubCount) > nv {
 		return nil, fmt.Errorf("core: hub count %d exceeds vertex count %d", hubCount, nv)
 	}
+	// HE stores hub IDs in 16 bits, so no valid writer ever emits more
+	// than 2^16 hubs; rejecting larger counts here also bounds the H2H
+	// allocation below (a corrupt 2^31 hub count would otherwise
+	// request a ~256 PB bit array).
+	if hubCount > DefaultHubCount {
+		return nil, fmt.Errorf("core: hub count %d exceeds the 16-bit hub ID space (%d)", hubCount, DefaultHubCount)
+	}
 	lg := &LotusGraph{HubCount: hubCount, numVertices: int(nv)}
 	// Arrays are read in bounded chunks so a corrupt header cannot
 	// force a huge up-front allocation (memory grows only as data
-	// actually arrives).
+	// actually arrives), and each offsets array is validated against
+	// its edge count before the neighbour payload it indexes is read.
 	heOffsets, err := readChunkedI64(br, nv+1)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading HE offsets: %w", err)
+	}
+	if err := validateOffsets(heOffsets, heE); err != nil {
+		return nil, fmt.Errorf("core: HE offsets: %w", err)
 	}
 	heNbrs, err := readChunkedU16(br, heE)
 	if err != nil {
@@ -108,28 +130,21 @@ func ReadLotusGraph(r io.Reader) (*LotusGraph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reading NHE offsets: %w", err)
 	}
+	if err := validateOffsets(nheOffsets, nheE); err != nil {
+		return nil, fmt.Errorf("core: NHE offsets: %w", err)
+	}
 	nheNbrs, err := readChunkedU32(br, nheE)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading NHE neighbours: %w", err)
 	}
 	lg.HE = &HE16{offsets: heOffsets, nbrs: heNbrs}
 	lg.NHE = &NHE32{offsets: nheOffsets, nbrs: nheNbrs}
-	if heOffsets[0] != 0 || heOffsets[nv] != int64(heE) ||
-		nheOffsets[0] != 0 || nheOffsets[nv] != int64(nheE) {
-		return nil, fmt.Errorf("core: inconsistent sub-graph offsets")
-	}
-	for i := uint64(1); i <= nv; i++ {
-		if heOffsets[i] < heOffsets[i-1] || nheOffsets[i] < nheOffsets[i-1] {
-			return nil, fmt.Errorf("core: sub-graph offsets not monotone at %d", i)
-		}
-	}
 	var nWords uint64
 	if err := binary.Read(br, binary.LittleEndian, &nWords); err != nil {
 		return nil, fmt.Errorf("core: reading H2H size: %w", err)
 	}
-	// Validate the word count arithmetically before allocating the
-	// (potentially huge) bit array: a corrupt hubCount otherwise
-	// requests terabytes.
+	// Validate the word count arithmetically before allocating the bit
+	// array (bounded to ~256 MB by the hubCount check above).
 	expectBits := uint64(0)
 	if hubCount > 0 {
 		expectBits = uint64(hubCount) * uint64(hubCount-1) / 2
@@ -151,6 +166,26 @@ func ReadLotusGraph(r io.Reader) (*LotusGraph, error) {
 		return nil, fmt.Errorf("core: invalid structure: %w", err)
 	}
 	return lg, nil
+}
+
+// validateOffsets checks a CSX index array read from an untrusted
+// stream: first offset zero, last offset equal to the edge count, and
+// monotone throughout. It runs before the (edgeCount-sized) neighbour
+// payload is read, so inconsistent headers fail fast.
+func validateOffsets(off []int64, edgeCount uint64) error {
+	n := len(off) - 1
+	if off[0] != 0 {
+		return fmt.Errorf("first offset %d != 0", off[0])
+	}
+	if off[n] != int64(edgeCount) {
+		return fmt.Errorf("last offset %d != edge count %d", off[n], edgeCount)
+	}
+	for i := 1; i <= n; i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("not monotone at %d (%d < %d)", i, off[i], off[i-1])
+		}
+	}
+	return nil
 }
 
 const ioChunk = 1 << 20

@@ -14,6 +14,7 @@ import (
 
 	"lotustc/internal/bitarray"
 	"lotustc/internal/graph"
+	"lotustc/internal/obs"
 	"lotustc/internal/reorder"
 	"lotustc/internal/sched"
 )
@@ -39,16 +40,23 @@ type Options struct {
 	// Pool supplies workers for parallel preprocessing; nil uses a
 	// GOMAXPROCS pool.
 	Pool *sched.Pool
+	// Metrics, when non-nil, receives the preprocessing counters
+	// (preprocess.ns, lotus.hubs, lotus.he_edges, lotus.nhe_edges,
+	// lotus.h2h_bits — names in DESIGN.md).
+	Metrics *obs.Metrics
 }
 
 // EffectiveHubCount resolves the hub count for a graph of n vertices.
+// The result never exceeds DefaultHubCount (2^16): HE stores hub IDs
+// in 16 bits, so a larger hub set would silently truncate neighbour
+// IDs and corrupt every count.
 func (o Options) EffectiveHubCount(n int) int {
 	h := o.HubCount
 	if h == 0 {
 		h = n / 64
-		if h > DefaultHubCount {
-			h = DefaultHubCount
-		}
+	}
+	if h > DefaultHubCount {
+		h = DefaultHubCount
 	}
 	if h > n {
 		h = n
@@ -210,7 +218,7 @@ func PreprocessMaterialize(g *graph.Graph, opt Options) *LotusGraph {
 		}
 	})
 
-	return &LotusGraph{
+	lg := &LotusGraph{
 		HubCount:       uint32(hubCount),
 		H2H:            h2h,
 		HE:             he,
@@ -219,6 +227,21 @@ func PreprocessMaterialize(g *graph.Graph, opt Options) *LotusGraph {
 		PreprocessTime: time.Since(t0),
 		numVertices:    n,
 	}
+	lg.recordPreprocessMetrics(opt.Metrics)
+	return lg
+}
+
+// recordPreprocessMetrics publishes the structure-size counters after
+// preprocessing; nil-safe, called by both preprocessing variants.
+func (lg *LotusGraph) recordPreprocessMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	m.AddDuration("preprocess.ns", lg.PreprocessTime)
+	m.Set("lotus.hubs", int64(lg.HubCount))
+	m.Set("lotus.he_edges", lg.HE.NumEdges())
+	m.Set("lotus.nhe_edges", lg.NHE.NumEdges())
+	m.Set("lotus.h2h_bits", int64(lg.H2H.PopCount()))
 }
 
 // Validate checks the structural invariants of the LotusGraph:
@@ -254,6 +277,23 @@ func (lg *LotusGraph) Validate() error {
 	}
 	if got, want := lg.H2H.PopCount(), hubEdgeCount(lg); got != want {
 		return fmt.Errorf("H2H popcount %d != hub-to-hub edge count %d", got, want)
+	}
+	// Relabeling must be a permutation of [0, n): anything else makes
+	// code that maps original IDs through it index out of range or
+	// silently alias two vertices (corrupt files are the realistic
+	// source — ReadLotusGraph relies on this check).
+	if len(lg.Relabeling) != lg.numVertices {
+		return fmt.Errorf("relabeling has %d entries for %d vertices", len(lg.Relabeling), lg.numVertices)
+	}
+	seen := make([]uint64, (lg.numVertices+63)/64)
+	for old, nw := range lg.Relabeling {
+		if nw >= n {
+			return fmt.Errorf("relabeling[%d] = %d out of range", old, nw)
+		}
+		if seen[nw>>6]&(1<<(nw&63)) != 0 {
+			return fmt.Errorf("relabeling maps two vertices to %d", nw)
+		}
+		seen[nw>>6] |= 1 << (nw & 63)
 	}
 	return nil
 }

@@ -101,7 +101,7 @@ func PreprocessDirect(g *graph.Graph, opt Options) *LotusGraph {
 		}
 	})
 
-	return &LotusGraph{
+	lg := &LotusGraph{
 		HubCount:       uint32(hubCount),
 		H2H:            h2h,
 		HE:             he,
@@ -110,4 +110,6 @@ func PreprocessDirect(g *graph.Graph, opt Options) *LotusGraph {
 		PreprocessTime: time.Since(t0),
 		numVertices:    n,
 	}
+	lg.recordPreprocessMetrics(opt.Metrics)
+	return lg
 }

@@ -31,7 +31,10 @@ type Streaming struct {
 	// non-hub x (sorted).
 	hubNbrs    [][]int32
 	nonHubNbrs [][]uint32
-	// hubVertex maps dense hub index -> vertex ID (built lazily).
+	// hubVertex maps dense hub index -> vertex ID. Built eagerly in
+	// NewStreaming: a lazy build would hide an O(n) scan inside the
+	// first hub-edge arrival on the counting hot path and write shared
+	// state, a data race the moment a counter is shared.
 	hubVertex []uint32
 	// CountNonHub additionally counts NNN triangles.
 	CountNonHub bool
@@ -52,8 +55,10 @@ func NewStreaming(n int, hubIDs []uint32) *Streaming {
 	for i := range s.hubIdx {
 		s.hubIdx[i] = -1
 	}
+	s.hubVertex = make([]uint32, len(hubIDs))
 	for i, h := range hubIDs {
 		s.hubIdx[h] = int32(i)
+		s.hubVertex[i] = h
 	}
 	s.words = (len(hubIDs) + 63) / 64
 	s.h2h = make([][]uint64, len(hubIDs))
@@ -127,17 +132,9 @@ func (s *Streaming) addHubHub(a, b int32) uint64 {
 	return closed
 }
 
-// hubVertexSlotInv maps a dense hub index back to its vertex ID by
-// scanning hubIdx lazily; a reverse table is built on first use.
+// hubVertexSlotInv maps a dense hub index back to its vertex ID via
+// the reverse table built in NewStreaming.
 func (s *Streaming) hubVertexSlotInv(idx int32) uint32 {
-	if s.hubVertex == nil {
-		s.hubVertex = make([]uint32, s.hubs)
-		for v, i := range s.hubIdx {
-			if i >= 0 {
-				s.hubVertex[i] = uint32(v)
-			}
-		}
-	}
 	return s.hubVertex[idx]
 }
 

@@ -53,6 +53,7 @@ func lotusKernel(t *Task) (uint64, error) {
 		HubCount:      t.Params.HubCount,
 		FrontFraction: t.Params.FrontFraction,
 		Pool:          t.Pool,
+		Metrics:       t.Metrics(),
 	})
 	t.Report.AddPhase(PhasePreprocess, lg.PreprocessTime)
 	if err := t.Err(); err != nil {
@@ -62,6 +63,7 @@ func lotusKernel(t *Task) (uint64, error) {
 		TileThreshold: t.Params.TileThreshold,
 		HNNBlocks:     t.Params.HNNBlocks,
 		WorkStealing:  t.Params.WorkStealing,
+		Metrics:       t.Metrics(),
 	}
 	if t.Params.EdgeBalancedTiling {
 		copt.Partitioner = core.EdgeBalanced
@@ -85,6 +87,7 @@ func lotusRecursiveKernel(t *Task) (uint64, error) {
 			HubCount:      t.Params.HubCount,
 			FrontFraction: t.Params.FrontFraction,
 			Pool:          t.Pool,
+			Metrics:       t.Metrics(),
 		},
 		MaxDepth: t.Params.MaxDepth,
 	})
@@ -115,6 +118,6 @@ func lotusRecursiveKernel(t *Task) (uint64, error) {
 // strategy.
 func forwardKernel(k baseline.Kernel) Kernel {
 	return func(t *Task) (uint64, error) {
-		return baseline.Forward(t.Graph, t.Pool, k), nil
+		return baseline.ForwardWithMetrics(t.Graph, t.Pool, k, t.Metrics()), nil
 	}
 }

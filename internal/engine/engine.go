@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lotustc/internal/graph"
+	"lotustc/internal/obs"
 	"lotustc/internal/sched"
 )
 
@@ -36,6 +37,12 @@ type Spec struct {
 	// deadline the caller's context already carries; exceeding it
 	// returns context.DeadlineExceeded.
 	Timeout time.Duration
+	// CollectMetrics threads an obs.Metrics registry through the run;
+	// the kernels publish per-phase counters into it and Run snapshots
+	// the result into Report.Metrics. Off by default: kernels see a
+	// nil registry, whose methods are no-ops, so the hot paths pay
+	// nothing.
+	CollectMetrics bool
 	// Params carries the algorithm tuning knobs.
 	Params Params
 }
@@ -80,6 +87,10 @@ type Report struct {
 	HHH, HHN, HNN, NNN uint64
 	// RecursionDepth reports levels used by the recursive variant.
 	RecursionDepth int
+	// Metrics is the flat counter snapshot collected when
+	// Spec.CollectMetrics was set (nil otherwise). Names are dotted
+	// (e.g. "phase1.steals"); DESIGN.md documents the full set.
+	Metrics map[string]int64
 }
 
 // AddPhase appends a timed stage to the report.
@@ -115,11 +126,18 @@ type Task struct {
 	// Report accumulates phase timings and class counters.
 	Report *Report
 
-	ctx context.Context
+	ctx     context.Context
+	metrics *obs.Metrics
 }
 
 // Ctx returns the run context.
 func (t *Task) Ctx() context.Context { return t.ctx }
+
+// Metrics returns the run's counter registry, nil unless the Spec set
+// CollectMetrics. Kernels pass it straight into the layers below;
+// every obs method is a no-op on a nil receiver, so no kernel needs a
+// nil check.
+func (t *Task) Metrics() *obs.Metrics { return t.metrics }
 
 // Err returns the run context's error, nil while the run is live.
 // Kernels check it between stages so a cancelled run stops before
@@ -167,6 +185,12 @@ func Run(ctx context.Context, g *graph.Graph, spec Spec) (*Report, error) {
 
 	rep := &Report{Algorithm: name}
 	task := &Task{Graph: g, Pool: pool, Params: spec.Params, Report: rep, ctx: ctx}
+	if spec.CollectMetrics {
+		task.metrics = obs.New()
+		task.metrics.Set("graph.vertices", int64(g.NumVertices()))
+		task.metrics.Set("graph.edges", g.NumEdges())
+		task.metrics.Set("run.workers", int64(pool.Workers()))
+	}
 	start := time.Now()
 	tri, err := invoke(reg, task)
 	rep.Elapsed = time.Since(start)
@@ -179,6 +203,12 @@ func Run(ctx context.Context, g *graph.Graph, spec Spec) (*Report, error) {
 		return nil, err
 	}
 	rep.Triangles = tri
+	if task.metrics != nil {
+		// The layers below already published their own wall times
+		// ("preprocess.ns", "phase1.ns", ...); the engine adds nothing
+		// here so no phase is counted twice.
+		rep.Metrics = task.metrics.Snapshot()
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+
+	"lotustc/internal/engine"
+	"lotustc/internal/obs"
+)
+
+// BenchAlgorithms is the Table 5 comparator set BuildBenchReport
+// sweeps, in display order.
+var BenchAlgorithms = []string{"bbtc", "edge-iterator", "forward", "gbbs", "lotus"}
+
+// BuildBenchReport runs the Table 5 comparators over the suite's
+// datasets with metrics collection on and folds every run into one
+// machine-readable BenchReport (the BENCH_*.json artifact). A failed
+// or cancelled run becomes a RunReport with Error set rather than
+// aborting the sweep, so partial artifacts remain diffable.
+func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
+	br := obs.NewBenchReport("lotus-bench", fmt.Sprintf("scale-%d/ef-%d", s.Scale, s.EdgeFactor))
+	for _, d := range s.Datasets() {
+		if s.Context().Err() != nil {
+			break
+		}
+		g := d.Build()
+		for _, algo := range BenchAlgorithms {
+			rr := obs.RunReport{
+				Schema:    obs.SchemaRun,
+				Tool:      br.Tool,
+				Timestamp: br.Timestamp,
+				Env:       br.Env,
+				Graph:     obs.GraphInfo{Source: d.Name, Vertices: int64(g.NumVertices()), Edges: g.NumEdges()},
+				Algorithm: algo,
+			}
+			rep, err := engine.Run(s.Context(), g, engine.Spec{
+				Algorithm:      algo,
+				Workers:        workers,
+				CollectMetrics: true,
+			})
+			if err != nil {
+				rr.Error = err.Error()
+				br.Runs = append(br.Runs, rr)
+				continue
+			}
+			rr.Workers = int(rep.Metrics["run.workers"])
+			rr.Triangles = rep.Triangles
+			rr.ElapsedNS = rep.Elapsed.Nanoseconds()
+			for _, p := range rep.Phases {
+				rr.Phases = append(rr.Phases, obs.PhaseNS{Name: p.Name, NS: p.Duration.Nanoseconds()})
+			}
+			if algo == "lotus" {
+				rr.Classes = &obs.Classes{HHH: rep.HHH, HHN: rep.HHN, HNN: rep.HNN, NNN: rep.NNN}
+			}
+			rr.Metrics = rep.Metrics
+			br.Runs = append(br.Runs, rr)
+		}
+	}
+	return br
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lotustc/internal/obs"
+)
+
+func TestSafeDiv(t *testing.T) {
+	if got := safeDiv(6, 3); got != 2 {
+		t.Fatalf("safeDiv(6,3) = %v", got)
+	}
+	if got := safeDiv(1, 0); got != 0 {
+		t.Fatalf("safeDiv(1,0) = %v, want 0 (finite aggregation)", got)
+	}
+	if got := safeDiv(0, 0); got != 0 {
+		t.Fatalf("safeDiv(0,0) = %v, want 0", got)
+	}
+}
+
+func TestSimulateScheduleDegenerate(t *testing.T) {
+	// All-zero work: makespan 0 must yield idle 0, not NaN.
+	if span, idle := simulateSchedule([]uint64{0, 0, 0}, 4); span != 0 || idle != 0 {
+		t.Fatalf("zero work: span=%d idle=%v, want 0, 0", span, idle)
+	}
+	// Exactly balanced: idle must clamp at 0, never go negative.
+	if _, idle := simulateSchedule([]uint64{5, 5, 5, 5}, 4); idle != 0 {
+		t.Fatalf("balanced schedule idle = %v, want 0", idle)
+	}
+	if span, idle := simulateSchedule(nil, 4); span != 0 || idle != 0 {
+		t.Fatalf("empty work: span=%d idle=%v", span, idle)
+	}
+}
+
+// TestTable5OutputFinite: sub-resolution timings on tiny graphs must
+// never surface as NaN/Inf rows in the Table 5 / Fig 1 aggregates.
+func TestTable5OutputFinite(t *testing.T) {
+	var buf bytes.Buffer
+	RunTable5(&buf, Suite{Scale: 8, EdgeFactor: 6}, 2)
+	out := buf.String()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("table5 output contains %s:\n%s", bad, out)
+		}
+	}
+}
+
+func TestBuildBenchReport(t *testing.T) {
+	s := tinySuite()
+	br := BuildBenchReport(s, 2)
+	if br.Schema != obs.SchemaBench || br.Suite != "scale-9/ef-8" {
+		t.Fatalf("bad envelope: %+v", br)
+	}
+	wantRuns := len(s.Datasets()) * len(BenchAlgorithms)
+	if len(br.Runs) != wantRuns {
+		t.Fatalf("got %d runs, want %d", len(br.Runs), wantRuns)
+	}
+	// Per dataset, every comparator must agree on the triangle count.
+	counts := map[string]uint64{}
+	for _, r := range br.Runs {
+		if r.Error != "" {
+			t.Fatalf("%s/%s failed: %s", r.Graph.Source, r.Algorithm, r.Error)
+		}
+		if prev, ok := counts[r.Graph.Source]; ok && prev != r.Triangles {
+			t.Fatalf("%s: %s counted %d, others %d", r.Graph.Source, r.Algorithm, r.Triangles, prev)
+		}
+		counts[r.Graph.Source] = r.Triangles
+		if r.Metrics == nil || r.Metrics["run.workers"] != int64(r.Workers) || r.Workers <= 0 {
+			t.Fatalf("%s/%s: instrumentation missing: workers=%d metrics=%v",
+				r.Graph.Source, r.Algorithm, r.Workers, r.Metrics)
+		}
+		if r.Algorithm == "lotus" {
+			if r.Classes == nil {
+				t.Fatalf("%s: lotus run missing class split", r.Graph.Source)
+			}
+			if len(r.Phases) != 4 {
+				t.Fatalf("%s: lotus run has %d phases, want 4", r.Graph.Source, len(r.Phases))
+			}
+			if _, ok := r.Metrics["phase1.h2h_probes"]; !ok {
+				t.Fatalf("%s: lotus metrics missing phase1.h2h_probes", r.Graph.Source)
+			}
+		}
+	}
+}

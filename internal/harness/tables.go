@@ -82,6 +82,12 @@ func RunTable5(w io.Writer, s Suite, workers int) {
 		n       int
 	}
 	sums := map[string]*agg{}
+	avgOf := func(a *agg, f func(*agg) float64) float64 {
+		if a == nil || a.n == 0 {
+			return 0 // empty suite: print a finite zero row
+		}
+		return f(a) / float64(a.n)
+	}
 	for _, d := range s.Datasets() {
 		g := d.Build()
 		runs := runAllAlgorithms(g, pool)
@@ -97,23 +103,23 @@ func RunTable5(w io.Writer, s Suite, workers int) {
 				a = &agg{}
 				sums[r.Name] = a
 			}
-			a.speedup += r.Seconds / lotus.Seconds
-			a.rate += float64(g.NumEdges()) / r.Seconds
+			// A sub-resolution run times as 0 s; safeDiv keeps one such
+			// dataset from poisoning the whole average with NaN/Inf.
+			a.speedup += safeDiv(r.Seconds, lotus.Seconds)
+			a.rate += safeDiv(float64(g.NumEdges()), r.Seconds)
 			a.n++
 		}
 		fmt.Fprintf(w, " %12d\n", lotus.Triangles)
 	}
 	fmt.Fprintf(w, "%-12s", "Avg speedup")
 	for _, name := range []string{"BBTC", "GGrnd", "GAP", "GBBS", "Lotus"} {
-		a := sums[name]
-		fmt.Fprintf(w, " %9.2fx", a.speedup/float64(a.n))
+		fmt.Fprintf(w, " %9.2fx", avgOf(sums[name], func(a *agg) float64 { return a.speedup }))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "(paper averages: Lotus 19.3x vs BBTC, 5.5x vs GraphGrind, 3.8x vs GAP, 2.2x vs GBBS)")
 	fmt.Fprintln(w, "\n=== Fig 1: average end-to-end TC rate (edges/second) ===")
 	for _, name := range []string{"BBTC", "GGrnd", "GAP", "GBBS", "Lotus"} {
-		a := sums[name]
-		fmt.Fprintf(w, "%-8s %14.0f\n", name, a.rate/float64(a.n))
+		fmt.Fprintf(w, "%-8s %14.0f\n", name, avgOf(sums[name], func(a *agg) float64 { return a.rate }))
 	}
 }
 
@@ -192,10 +198,25 @@ func simulateSchedule(work []uint64, workers int) (makespan uint64, idle float64
 		}
 	}
 	if makespan == 0 {
+		// All-zero work items: every worker is nominally always idle,
+		// but emitting 0 (not NaN from 0/0) keeps downstream averages
+		// finite.
 		return 0, 0
 	}
 	idle = 1 - float64(total)/(float64(makespan)*float64(workers))
+	if idle < 0 {
+		idle = 0 // float round-off on exactly balanced schedules
+	}
 	return makespan, idle
+}
+
+// safeDiv returns a/b, or 0 when b is 0 — table aggregation must stay
+// finite even when a run is faster than the clock resolution.
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 // edgeBalancedChunkWork reproduces the [67]/[79] policy Table 9

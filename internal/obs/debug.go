@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+
+	// Blank imports register the profiling and variable handlers on
+	// http.DefaultServeMux: /debug/pprof/* and /debug/vars.
+	_ "net/http/pprof"
+)
+
+var publishMu sync.Mutex
+
+// Publish exposes m's live counters through expvar under name
+// (visible at /debug/vars once the debug server runs). Re-publishing
+// a name replaces the previous metrics set instead of panicking the
+// way raw expvar.Publish does, so per-run metrics can be rotated.
+func Publish(name string, m *Metrics) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	// expvar has no unpublish: keep one indirection cell per name.
+	cell, ok := published[name]
+	if !ok {
+		cell = &metricsCell{}
+		published[name] = cell
+		expvar.Publish(name, cell)
+	}
+	cell.mu.Lock()
+	cell.m = m
+	cell.mu.Unlock()
+}
+
+var published = map[string]*metricsCell{}
+
+// metricsCell adapts a swappable *Metrics to expvar.Var.
+type metricsCell struct {
+	mu sync.RWMutex
+	m  *Metrics
+}
+
+func (c *metricsCell) String() string {
+	c.mu.RLock()
+	m := c.m
+	c.mu.RUnlock()
+	snap := m.Snapshot()
+	if snap == nil {
+		return "{}"
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// StartDebugServer binds addr (e.g. "localhost:6060" or ":0") and
+// serves http.DefaultServeMux — net/http/pprof handlers plus expvar —
+// in a background goroutine. It returns the bound address so callers
+// can print it (":0" picks a free port). Binding errors are returned
+// synchronously; the server then runs for the life of the process,
+// the usual arrangement for debug endpoints.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// Serve exits only if the listener dies; debug servers have no
+		// graceful-shutdown story by design.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

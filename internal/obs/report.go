@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// SchemaRun and SchemaBench version the JSON documents this package
+// emits. Consumers (BENCH_*.json diffing, dashboards) must check the
+// schema string; additive fields keep the version, incompatible
+// changes bump it.
+const (
+	SchemaRun   = "lotustc/run-report/v1"
+	SchemaBench = "lotustc/bench-report/v1"
+)
+
+// Env describes the process environment a report was produced in,
+// enough to judge whether two BENCH_*.json files are comparable.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentEnv captures the running process's environment.
+func CurrentEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// GraphInfo identifies the input graph of a run.
+type GraphInfo struct {
+	// Source describes where the graph came from, e.g. "rmat-16",
+	// "file:web.lotg", "edgelist:graph.txt".
+	Source   string `json:"source,omitempty"`
+	Vertices int64  `json:"vertices"`
+	Edges    int64  `json:"edges"`
+}
+
+// PhaseNS is one timed stage of a run.
+type PhaseNS struct {
+	Name string `json:"name"`
+	NS   int64  `json:"ns"`
+}
+
+// Classes is the Fig 7 triangle-class breakdown.
+type Classes struct {
+	HHH uint64 `json:"hhh"`
+	HHN uint64 `json:"hhn"`
+	HNN uint64 `json:"hnn"`
+	NNN uint64 `json:"nnn"`
+}
+
+// RunReport is the machine-readable outcome of one counting (or
+// replay) run; schema documented in DESIGN.md ("Observability").
+type RunReport struct {
+	Schema    string    `json:"schema"`
+	Tool      string    `json:"tool"`
+	Timestamp time.Time `json:"timestamp"`
+	Env       Env       `json:"env"`
+	Graph     GraphInfo `json:"graph"`
+	Algorithm string    `json:"algorithm"`
+	Workers   int       `json:"workers"`
+	Triangles uint64    `json:"triangles"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	// Phases appear in execution order (preprocess, phase1, hnn, nnn
+	// for the LOTUS kernels; baseline kernels report their own).
+	Phases []PhaseNS `json:"phases,omitempty"`
+	// Classes is present for kernels that report the class breakdown.
+	Classes *Classes `json:"classes,omitempty"`
+	// Metrics is the counter snapshot (names in DESIGN.md); absent
+	// when the run was not instrumented.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// Events carries modeled hardware events (lotus-perf): kernel
+	// name -> event name -> count.
+	Events map[string]map[string]uint64 `json:"events,omitempty"`
+	// Error is set when the run failed; the other result fields are
+	// then unspecified.
+	Error string `json:"error,omitempty"`
+}
+
+// NewRunReport returns a RunReport with the schema, tool, timestamp
+// and environment fields filled in.
+func NewRunReport(tool string) *RunReport {
+	return &RunReport{
+		Schema:    SchemaRun,
+		Tool:      tool,
+		Timestamp: time.Now().UTC(),
+		Env:       CurrentEnv(),
+	}
+}
+
+// BenchReport aggregates the runs of one benchmark sweep — the
+// BENCH_*.json artifact future PRs diff for perf trajectories.
+type BenchReport struct {
+	Schema    string    `json:"schema"`
+	Tool      string    `json:"tool"`
+	Timestamp time.Time `json:"timestamp"`
+	Env       Env       `json:"env"`
+	// Suite describes the dataset sweep, e.g. "scale-13/ef-16".
+	Suite string      `json:"suite"`
+	Runs  []RunReport `json:"runs"`
+}
+
+// NewBenchReport returns a BenchReport with the envelope filled in.
+func NewBenchReport(tool, suite string) *BenchReport {
+	return &BenchReport{
+		Schema:    SchemaBench,
+		Tool:      tool,
+		Timestamp: time.Now().UTC(),
+		Env:       CurrentEnv(),
+		Suite:     suite,
+	}
+}
+
+// WriteJSON writes the report as indented JSON followed by a newline.
+func (r *RunReport) WriteJSON(w io.Writer) error { return writeJSON(w, r) }
+
+// WriteJSON writes the report as indented JSON followed by a newline.
+func (b *BenchReport) WriteJSON(w io.Writer) error { return writeJSON(w, b) }
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

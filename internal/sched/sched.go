@@ -177,16 +177,23 @@ func (p *Pool) For(n, grain int, fn func(worker, start, end int)) {
 
 // ForTimed is For, but additionally measures each worker's busy time
 // (time spent inside fn) and the loop's wall-clock time. The Table 9
-// experiment derives idle percentage from these.
+// experiment derives idle percentage from these; Claims counts the
+// chunk claims, each of which is also a cancellation poll point.
 func (p *Pool) ForTimed(n, grain int, fn func(worker, start, end int)) LoadReport {
 	busy := make([]time.Duration, p.workers)
+	claims := make([]int64, p.workers)
 	t0 := time.Now()
 	p.For(n, grain, func(worker, start, end int) {
 		s := time.Now()
 		fn(worker, start, end)
 		busy[worker] += time.Since(s)
+		claims[worker]++
 	})
-	return LoadReport{Busy: busy, Wall: time.Since(t0)}
+	rep := LoadReport{Busy: busy, Wall: time.Since(t0)}
+	for _, c := range claims {
+		rep.Claims += c
+	}
+	return rep
 }
 
 // RunTasks executes nTasks opaque tasks (fn(worker, task)) with
@@ -198,16 +205,18 @@ func (p *Pool) RunTasks(nTasks int, fn func(worker, task int)) LoadReport {
 	if nTasks <= 0 {
 		return LoadReport{Busy: busy, Wall: time.Since(t0)}
 	}
+	claims := make([]int64, p.workers)
 	if p.workers == 1 {
 		s := time.Now()
 		for i := 0; i < nTasks; i++ {
 			if p.stop != nil && p.stop.Load() {
 				break
 			}
+			claims[0]++
 			fn(0, i)
 		}
 		busy[0] = time.Since(s)
-		return LoadReport{Busy: busy, Wall: time.Since(t0)}
+		return LoadReport{Busy: busy, Wall: time.Since(t0), Claims: claims[0]}
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -223,6 +232,7 @@ func (p *Pool) RunTasks(nTasks int, fn func(worker, task int)) LoadReport {
 				if i >= nTasks {
 					return
 				}
+				claims[worker]++
 				s := time.Now()
 				fn(worker, i)
 				busy[worker] += time.Since(s)
@@ -230,13 +240,25 @@ func (p *Pool) RunTasks(nTasks int, fn func(worker, task int)) LoadReport {
 		}(w)
 	}
 	wg.Wait()
-	return LoadReport{Busy: busy, Wall: time.Since(t0)}
+	rep := LoadReport{Busy: busy, Wall: time.Since(t0)}
+	for _, c := range claims {
+		rep.Claims += c
+	}
+	return rep
 }
 
 // LoadReport captures per-worker busy time for one parallel region.
 type LoadReport struct {
 	Busy []time.Duration
 	Wall time.Duration
+	// Claims counts chunk/task claims. Every claim re-checks the
+	// cancellation flag, so this is also the number of scheduler-level
+	// cancellation polls the region performed.
+	Claims int64
+	// Steals counts tasks executed by a worker other than the one
+	// whose deque they were dealt to. Zero for the shared-counter
+	// scheduler, which has no locality to lose.
+	Steals int64
 }
 
 // IdleFraction returns the mean fraction of wall time workers spent

@@ -114,14 +114,16 @@ func (p *StealingPool) RunTasks(nTasks int, fn func(worker, task int)) LoadRepor
 	}
 	if p.workers == 1 {
 		s := time.Now()
+		var claims int64
 		for i := 0; i < nTasks; i++ {
 			if p.cancelled() {
 				break
 			}
+			claims++
 			fn(0, i)
 		}
 		busy[0] = time.Since(s)
-		return LoadReport{Busy: busy, Wall: time.Since(t0)}
+		return LoadReport{Busy: busy, Wall: time.Since(t0), Claims: claims}
 	}
 	deques := make([]*deque, p.workers)
 	per := (nTasks + p.workers - 1) / p.workers
@@ -131,6 +133,8 @@ func (p *StealingPool) RunTasks(nTasks int, fn func(worker, task int)) LoadRepor
 	for i := 0; i < nTasks; i++ {
 		deques[i%p.workers].push(int32(i))
 	}
+	claims := make([]int64, p.workers)
+	steals := make([]int64, p.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
@@ -138,6 +142,7 @@ func (p *StealingPool) RunTasks(nTasks int, fn func(worker, task int)) LoadRepor
 			defer wg.Done()
 			own := deques[worker]
 			run := func(task int32) {
+				claims[worker]++
 				s := time.Now()
 				fn(worker, int(task))
 				busy[worker] += time.Since(s)
@@ -156,6 +161,7 @@ func (p *StealingPool) RunTasks(nTasks int, fn func(worker, task int)) LoadRepor
 				for off := 1; off < p.workers; off++ {
 					victim := deques[(worker+off)%p.workers]
 					if task, ok := victim.steal(); ok {
+						steals[worker]++
 						run(task)
 						stole = true
 						break
@@ -179,5 +185,10 @@ func (p *StealingPool) RunTasks(nTasks int, fn func(worker, task int)) LoadRepor
 		}(w)
 	}
 	wg.Wait()
-	return LoadReport{Busy: busy, Wall: time.Since(t0)}
+	rep := LoadReport{Busy: busy, Wall: time.Since(t0)}
+	for w := 0; w < p.workers; w++ {
+		rep.Claims += claims[w]
+		rep.Steals += steals[w]
+	}
+	return rep
 }

@@ -115,6 +115,10 @@ type Options struct {
 	// aborts cooperatively and Count returns
 	// context.DeadlineExceeded.
 	Timeout time.Duration
+	// CollectMetrics populates Result.Metrics with the per-phase
+	// counter snapshot (steal counts, structure touch counts, ...).
+	// Off by default; the counting hot paths pay nothing when off.
+	CollectMetrics bool
 }
 
 // Result reports one count. The phase fields are populated for the
@@ -133,6 +137,11 @@ type Result struct {
 	HHH, HHN, HNN, NNN uint64
 	// RecursionDepth reports levels used by AlgoLotusRecursive.
 	RecursionDepth int
+	// Metrics is the flat observability snapshot collected when
+	// Options.CollectMetrics was set, nil otherwise. Keys are dotted
+	// counter names ("phase1.steals", "lotus.h2h_bits", ...); the full
+	// catalogue is documented in DESIGN.md.
+	Metrics map[string]int64
 }
 
 // HubTriangles returns triangles containing at least one hub
@@ -162,9 +171,10 @@ func Count(g *Graph, opt Options) (*Result, error) {
 // A cancelled count never returns a partial Result.
 func CountContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	rep, err := engine.Run(ctx, g, engine.Spec{
-		Algorithm: string(opt.Algorithm),
-		Workers:   opt.Workers,
-		Timeout:   opt.Timeout,
+		Algorithm:      string(opt.Algorithm),
+		Workers:        opt.Workers,
+		Timeout:        opt.Timeout,
+		CollectMetrics: opt.CollectMetrics,
 		Params: engine.Params{
 			HubCount:           opt.HubCount,
 			FrontFraction:      opt.FrontFraction,
@@ -191,5 +201,6 @@ func CountContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 		HNN:            rep.HNN,
 		NNN:            rep.NNN,
 		RecursionDepth: rep.RecursionDepth,
+		Metrics:        rep.Metrics,
 	}, nil
 }
