@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-report verify experiments fuzz clean
+.PHONY: all build test check race bench bench-report verify serve-smoke experiments fuzz clean
 
 all: build test
 
@@ -22,6 +22,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run 'TestReadLotusGraph|TestLotusGraphRoundTrip|TestStreaming' ./internal/core/
 
 race:
@@ -39,6 +40,12 @@ bench-report:
 # Randomized cross-validation of every algorithm and extension.
 verify:
 	$(GO) run ./cmd/lotus-verify -rounds 50
+
+# Boot lotus-serve on a loopback port, count a scale-12 R-MAT graph
+# twice, and assert 200 + nonzero triangles + a >= 10x result-cache
+# speedup on the repeat query.
+serve-smoke:
+	$(GO) run ./cmd/lotus-serve -smoke -smoke-scale 12
 
 # Regenerate every table and figure (writes nothing; see EXPERIMENTS.md
 # for an archived run).

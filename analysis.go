@@ -113,8 +113,10 @@ func TopDegreeVertices(g *Graph, k int) []uint32 {
 type StreamingCounter = core.Streaming
 
 // NewStreamingCounter creates a streaming counter over n vertices
-// with the given hub IDs (see TopDegreeVertices).
-func NewStreamingCounter(n int, hubIDs []uint32) *StreamingCounter {
+// with the given hub IDs (see TopDegreeVertices). Hub IDs must be
+// distinct vertices in [0, n); invalid hub sets are rejected with an
+// error so a long-lived caller never crashes on bad input.
+func NewStreamingCounter(n int, hubIDs []uint32) (*StreamingCounter, error) {
 	return core.NewStreaming(n, hubIDs)
 }
 

@@ -375,7 +375,10 @@ func BenchmarkExtensionStreaming(b *testing.B) {
 	hubs := TopDegreeVertices(g, g.NumVertices()/100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc := NewStreamingCounter(g.NumVertices(), hubs)
+		sc, err := NewStreamingCounter(g.NumVertices(), hubs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, e := range edges {
 			sc.AddEdge(e.U, e.V)
 		}
@@ -388,7 +391,10 @@ func BenchmarkExtensionRecursive(b *testing.B) {
 	g := benchGraph()
 	pool := sched.NewPool(0)
 	for i := 0; i < b.N; i++ {
-		rr := core.CountRecursive(g, pool, core.RecursiveOptions{MaxDepth: 3})
+		rr, err := core.CountRecursive(g, pool, core.RecursiveOptions{MaxDepth: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
 		benchSink += rr.Total
 	}
 }

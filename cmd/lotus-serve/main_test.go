@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeSelfTest drives the whole binary path: boot on a loopback
+// port, cold query, warm query, cache + speedup assertions.
+func TestSmokeSelfTest(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-smoke", "-smoke-scale", "9"}, &out, &errOut); code != 0 {
+		t.Fatalf("smoke exited %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "SMOKE OK") {
+		t.Fatalf("no SMOKE OK in output: %s", out.String())
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -60,7 +60,7 @@ func ExampleCountKCliques() {
 // Streaming hub-triangle counting (§6.2): feed edges one at a time.
 func ExampleStreamingCounter() {
 	g := lotustc.Complete(4)
-	sc := lotustc.NewStreamingCounter(4, lotustc.TopDegreeVertices(g, 2))
+	sc, _ := lotustc.NewStreamingCounter(4, lotustc.TopDegreeVertices(g, 2))
 	var closed uint64
 	for _, e := range g.Edges() {
 		closed += sc.AddEdge(e.U, e.V)

@@ -23,7 +23,10 @@ func main() {
 	// hub set would come from history; here the top 1% by degree.
 	hubCount := g.NumVertices() / 100
 	hubs := lotustc.TopDegreeVertices(g, hubCount)
-	sc := lotustc.NewStreamingCounter(g.NumVertices(), hubs)
+	sc, err := lotustc.NewStreamingCounter(g.NumVertices(), hubs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Shuffle to simulate arbitrary arrival order.
 	rng := rand.New(rand.NewSource(1))

@@ -53,7 +53,10 @@ func TestAllPathsAgree(t *testing.T) {
 		}
 		// Streaming with CountNonHub covers the total.
 		hubs := TopDegreeVertices(g, g.NumVertices()/50+1)
-		sc := NewStreamingCounter(g.NumVertices(), hubs)
+		sc, err := NewStreamingCounter(g.NumVertices(), hubs)
+		if err != nil {
+			t.Fatalf("%s: NewStreamingCounter: %v", name, err)
+		}
 		sc.CountNonHub = true
 		for _, e := range g.Edges() {
 			sc.AddEdge(e.U, e.V)

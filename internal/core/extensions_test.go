@@ -29,6 +29,27 @@ func TestNonHubSubgraph(t *testing.T) {
 	}
 }
 
+// mustStreaming wraps NewStreaming for tests whose hub sets are valid
+// by construction.
+func mustStreaming(tb testing.TB, n int, hubIDs []uint32) *Streaming {
+	tb.Helper()
+	s, err := NewStreaming(n, hubIDs)
+	if err != nil {
+		tb.Fatalf("NewStreaming(%d, %v): %v", n, hubIDs, err)
+	}
+	return s
+}
+
+// mustRecursive wraps CountRecursive for tests on valid graphs.
+func mustRecursive(tb testing.TB, g *graph.Graph, opt RecursiveOptions) *RecursiveResult {
+	tb.Helper()
+	rr, err := CountRecursive(g, pool, opt)
+	if err != nil {
+		tb.Fatalf("CountRecursive: %v", err)
+	}
+	return rr
+}
+
 func TestCountRecursiveMatchesFlat(t *testing.T) {
 	graphs := map[string]*graph.Graph{
 		"rmat":      gen.RMAT(gen.DefaultRMAT(10, 8, 3)),
@@ -41,7 +62,7 @@ func TestCountRecursiveMatchesFlat(t *testing.T) {
 	for name, g := range graphs {
 		want := baseline.BruteForce(g)
 		for _, depth := range []int{1, 2, 3} {
-			rr := CountRecursive(g, pool, RecursiveOptions{
+			rr := mustRecursive(t, g, RecursiveOptions{
 				Options:  Options{HubCount: 32},
 				MaxDepth: depth, MinVertices: 16,
 			})
@@ -60,7 +81,7 @@ func TestCountRecursiveMatchesFlat(t *testing.T) {
 
 func TestCountRecursiveActuallyRecurses(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(11, 8, 4))
-	rr := CountRecursive(g, pool, RecursiveOptions{
+	rr := mustRecursive(t, g, RecursiveOptions{
 		Options:  Options{HubCount: 64},
 		MaxDepth: 3, MinVertices: 8,
 	})
@@ -143,7 +164,7 @@ func TestStreamingMatchesReference(t *testing.T) {
 		}
 		wantHHH, wantHHN, wantHNN, wantNNN := refHubTriangles(g, hubSet)
 
-		s := NewStreaming(g.NumVertices(), hubIDs)
+		s := mustStreaming(t, g.NumVertices(), hubIDs)
 		s.CountNonHub = true
 		edges := g.Edges()
 		rng := rand.New(rand.NewSource(42))
@@ -168,7 +189,7 @@ func TestStreamingMatchesReference(t *testing.T) {
 }
 
 func TestStreamingIgnoresDuplicatesAndLoops(t *testing.T) {
-	s := NewStreaming(10, []uint32{0, 1})
+	s := mustStreaming(t, 10, []uint32{0, 1})
 	s.CountNonHub = true
 	s.AddEdge(3, 3) // self loop
 	if s.Edges() != 0 {
@@ -210,7 +231,7 @@ func TestStreamingOrderInvariance(t *testing.T) {
 		el := g.Edges()
 
 		run := func(shuffleSeed int64) (uint64, uint64) {
-			s := NewStreaming(n, hubIDs)
+			s := mustStreaming(t, n, hubIDs)
 			s.CountNonHub = true
 			perm := rand.New(rand.NewSource(shuffleSeed)).Perm(len(el))
 			for _, i := range perm {
@@ -231,7 +252,7 @@ func TestStreamingOrderInvariance(t *testing.T) {
 func TestStreamingRemoveAllReturnsToZero(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(8, 8, 12))
 	hubIDs := topKHubs(g, 8)
-	s := NewStreaming(g.NumVertices(), hubIDs)
+	s := mustStreaming(t, g.NumVertices(), hubIDs)
 	s.CountNonHub = true
 	edges := g.Edges()
 	for _, e := range edges {
@@ -266,7 +287,7 @@ func TestStreamingDynamicMatchesBatch(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 10 + rng.Intn(30)
 		hubIDs := []uint32{0, 1, 2}
-		s := NewStreaming(n, hubIDs)
+		s := mustStreaming(t, n, hubIDs)
 		s.CountNonHub = true
 		type edge struct{ u, v uint32 }
 		present := map[edge]bool{}
@@ -292,7 +313,7 @@ func TestStreamingDynamicMatchesBatch(t *testing.T) {
 			}
 		}
 		// Replay the surviving set into a fresh counter.
-		ref := NewStreaming(n, hubIDs)
+		ref := mustStreaming(t, n, hubIDs)
 		ref.CountNonHub = true
 		for e := range present {
 			ref.AddEdge(e.u, e.v)
@@ -307,7 +328,7 @@ func TestStreamingDynamicMatchesBatch(t *testing.T) {
 }
 
 func TestStreamingRemoveUnknownIgnored(t *testing.T) {
-	s := NewStreaming(6, []uint32{0})
+	s := mustStreaming(t, 6, []uint32{0})
 	if s.RemoveEdge(1, 2) != 0 || s.RemoveEdge(3, 3) != 0 {
 		t.Fatal("removing absent/self edge did something")
 	}
@@ -322,7 +343,7 @@ func TestStreamingRemoveUnknownIgnored(t *testing.T) {
 func TestStreamingNoHubs(t *testing.T) {
 	// Zero hubs: everything is NNN.
 	g := gen.Complete(5)
-	s := NewStreaming(5, nil)
+	s := mustStreaming(t, 5, nil)
 	s.CountNonHub = true
 	for _, e := range g.Edges() {
 		s.AddEdge(e.U, e.V)
@@ -338,7 +359,7 @@ func TestStreamingNoHubs(t *testing.T) {
 // arrival (the lazy build hid an O(n) scan in the hot path and wrote
 // shared state on a read-looking call).
 func TestStreamingHubVertexEager(t *testing.T) {
-	s := NewStreaming(10, []uint32{7, 3, 9})
+	s := mustStreaming(t, 10, []uint32{7, 3, 9})
 	if len(s.hubVertex) != 3 {
 		t.Fatalf("hubVertex len %d, want 3 (built in NewStreaming)", len(s.hubVertex))
 	}

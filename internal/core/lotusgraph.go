@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -143,25 +144,64 @@ func (lg *LotusGraph) TopologyBytes() int64 {
 	return idx + lg.H2H.SizeBytes() + 2*lg.HE.NumEdges() + 4*lg.NHE.NumEdges()
 }
 
-// Preprocess builds the LotusGraph from a symmetric simple graph,
-// implementing Algorithm 2: relabel, split each vertex's N^< into hub
-// and non-hub neighbours, and populate the H2H bit array. It uses the
-// literal per-edge implementation (PreprocessDirect), which measures
-// ~2x faster than materializing the relabeled graph first; the
-// alternative remains available as PreprocessMaterialize and the
-// ablation-preprocess experiment compares them.
-func Preprocess(g *graph.Graph, opt Options) *LotusGraph {
-	return PreprocessDirect(g, opt)
+// ErrOriented is returned by the Try preprocessors when handed an
+// oriented graph: Algorithm 2 walks symmetric neighbour lists, so an
+// oriented input would silently drop every forward edge.
+var ErrOriented = errors.New("core: preprocessing requires a symmetric graph, got an oriented one")
+
+// ErrNilGraph is returned by the Try preprocessors on a nil graph.
+var ErrNilGraph = errors.New("core: nil graph")
+
+// checkPreprocessInput validates the preprocessing input contract
+// shared by both implementations.
+func checkPreprocessInput(g *graph.Graph) error {
+	if g == nil {
+		return ErrNilGraph
+	}
+	if g.Oriented {
+		return ErrOriented
+	}
+	return nil
 }
 
-// PreprocessMaterialize builds the LotusGraph by first materializing
-// the fully relabeled graph (sorted rows), then splitting each row
-// into its HE/NHE parts with two binary searches. Kept as the
-// comparison point for the preprocessing ablation; produces
-// bit-identical structures to PreprocessDirect.
-func PreprocessMaterialize(g *graph.Graph, opt Options) *LotusGraph {
-	if g.Oriented {
-		panic("core: Preprocess requires a symmetric graph")
+// mustLotusGraph backs the thin panicking wrappers kept for
+// known-good inputs.
+func mustLotusGraph(lg *LotusGraph, err error) *LotusGraph {
+	if err != nil {
+		panic(err)
+	}
+	return lg
+}
+
+// TryPreprocess builds the LotusGraph from a symmetric simple graph,
+// implementing Algorithm 2: relabel, split each vertex's N^< into hub
+// and non-hub neighbours, and populate the H2H bit array. It uses the
+// literal per-edge implementation (TryPreprocessDirect), which
+// measures ~2x faster than materializing the relabeled graph first;
+// the alternative remains available as TryPreprocessMaterialize and
+// the ablation-preprocess experiment compares them.
+//
+// Invalid inputs (nil or oriented graphs) are rejected with an error;
+// the serving path depends on this never panicking.
+func TryPreprocess(g *graph.Graph, opt Options) (*LotusGraph, error) {
+	return TryPreprocessDirect(g, opt)
+}
+
+// Preprocess is the thin panicking wrapper over TryPreprocess, kept
+// for call sites whose inputs are built in-process (generators,
+// benchmarks, the analytics helpers).
+func Preprocess(g *graph.Graph, opt Options) *LotusGraph {
+	return mustLotusGraph(TryPreprocess(g, opt))
+}
+
+// TryPreprocessMaterialize builds the LotusGraph by first
+// materializing the fully relabeled graph (sorted rows), then
+// splitting each row into its HE/NHE parts with two binary searches.
+// Kept as the comparison point for the preprocessing ablation;
+// produces bit-identical structures to TryPreprocessDirect.
+func TryPreprocessMaterialize(g *graph.Graph, opt Options) (*LotusGraph, error) {
+	if err := checkPreprocessInput(g); err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
 	pool := opt.Pool
@@ -228,7 +268,13 @@ func PreprocessMaterialize(g *graph.Graph, opt Options) *LotusGraph {
 		numVertices:    n,
 	}
 	lg.recordPreprocessMetrics(opt.Metrics)
-	return lg
+	return lg, nil
+}
+
+// PreprocessMaterialize is the thin panicking wrapper over
+// TryPreprocessMaterialize.
+func PreprocessMaterialize(g *graph.Graph, opt Options) *LotusGraph {
+	return mustLotusGraph(TryPreprocessMaterialize(g, opt))
 }
 
 // recordPreprocessMetrics publishes the structure-size counters after

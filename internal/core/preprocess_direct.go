@@ -10,23 +10,27 @@ import (
 	"lotustc/internal/sched"
 )
 
-// PreprocessDirect builds the LotusGraph by transcribing Algorithm 2
-// literally: it walks each original vertex's neighbour list, maps IDs
-// through the relabeling array on the fly, pushes hub neighbours into
-// he and non-hub neighbours into nhe, sets H2H bits for hub-hub
-// edges, and sorts the per-vertex lists in setEdges fashion — without
-// materializing an intermediate relabeled graph the way Preprocess
-// does.
+// TryPreprocessDirect builds the LotusGraph by transcribing
+// Algorithm 2 literally: it walks each original vertex's neighbour
+// list, maps IDs through the relabeling array on the fly, pushes hub
+// neighbours into he and non-hub neighbours into nhe, sets H2H bits
+// for hub-hub edges, and sorts the per-vertex lists in setEdges
+// fashion — without materializing an intermediate relabeled graph the
+// way TryPreprocessMaterialize does.
 //
 // Both implementations must produce bit-identical structures (tests
 // enforce it); they differ only in constant factors, which the
-// preprocessing ablation measures. PreprocessDirect avoids the full
-// graph copy but pays per-edge relabeling loads; Preprocess
-// materializes the relabeled graph once and then splits rows with two
-// binary searches per vertex.
-func PreprocessDirect(g *graph.Graph, opt Options) *LotusGraph {
-	if g.Oriented {
-		panic("core: PreprocessDirect requires a symmetric graph")
+// preprocessing ablation measures. TryPreprocessDirect avoids the
+// full graph copy but pays per-edge relabeling loads;
+// TryPreprocessMaterialize materializes the relabeled graph once and
+// then splits rows with two binary searches per vertex.
+//
+// Invalid inputs (nil or oriented graphs) return an error instead of
+// panicking: a resident service preprocesses caller-supplied graphs,
+// and a bad request must fail the request, not the process.
+func TryPreprocessDirect(g *graph.Graph, opt Options) (*LotusGraph, error) {
+	if err := checkPreprocessInput(g); err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
 	pool := opt.Pool
@@ -111,5 +115,12 @@ func PreprocessDirect(g *graph.Graph, opt Options) *LotusGraph {
 		numVertices:    n,
 	}
 	lg.recordPreprocessMetrics(opt.Metrics)
-	return lg
+	return lg, nil
+}
+
+// PreprocessDirect is the thin panicking wrapper over
+// TryPreprocessDirect, kept for call sites that construct their own
+// known-good graphs (generators, benchmarks).
+func PreprocessDirect(g *graph.Graph, opt Options) *LotusGraph {
+	return mustLotusGraph(TryPreprocessDirect(g, opt))
 }

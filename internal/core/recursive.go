@@ -58,8 +58,9 @@ type RecursiveOptions struct {
 // HHH/HHN/HNN triangles, then the non-hub sub-graph is re-split with
 // a fresh hub set instead of running the flat NNN phase. The paper
 // proposes this for "social networks with a great number of
-// low-degree hubs" (§5.5).
-func CountRecursive(g *graph.Graph, pool *sched.Pool, opt RecursiveOptions) *RecursiveResult {
+// low-degree hubs" (§5.5). Invalid inputs (nil or oriented graphs)
+// return an error rather than panicking.
+func CountRecursive(g *graph.Graph, pool *sched.Pool, opt RecursiveOptions) (*RecursiveResult, error) {
 	if pool == nil {
 		pool = sched.NewPool(0)
 	}
@@ -69,12 +70,15 @@ func CountRecursive(g *graph.Graph, pool *sched.Pool, opt RecursiveOptions) *Rec
 	rr := &RecursiveResult{}
 	cur := g
 	for {
-		lg := Preprocess(cur, opt.Options)
+		lg, err := TryPreprocess(cur, opt.Options)
+		if err != nil {
+			return nil, err
+		}
 		rr.Preprocess += lg.PreprocessTime
 		if pool.Cancelled() {
 			// Torn down mid-level: return what completed; callers that
 			// care (the engine) check the context and discard.
-			return rr
+			return rr, nil
 		}
 		last := rr.Depth+1 >= opt.MaxDepth || tooSmall(lg, opt.MinVertices)
 		copt := opt.Count
@@ -85,10 +89,10 @@ func CountRecursive(g *graph.Graph, pool *sched.Pool, opt RecursiveOptions) *Rec
 		rr.Total += res.HHH + res.HHN + res.HNN
 		if last {
 			rr.Total += res.NNN
-			return rr
+			return rr, nil
 		}
 		if pool.Cancelled() {
-			return rr
+			return rr, nil
 		}
 		cur = lg.NonHubSubgraph()
 	}

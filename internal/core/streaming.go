@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // Streaming counts hub triangles over an edge stream, the §6.2
@@ -39,13 +41,25 @@ type Streaming struct {
 	// CountNonHub additionally counts NNN triangles.
 	CountNonHub bool
 
-	hhh, hhn, hnn, nnn uint64
-	edges              uint64
+	// Running counters. Ingest is single-writer — AddEdge/RemoveEdge
+	// mutate the adjacency structures and must not be called
+	// concurrently — but a resident service polls these counters from
+	// other goroutines while ingest runs, so they are atomics. A
+	// concurrent read sees a monotone, per-counter-consistent
+	// snapshot; once ingest quiesces the counts are exact.
+	hhh, hhn, hnn, nnn atomic.Uint64
+	edges              atomic.Uint64
 }
 
 // NewStreaming creates a streaming counter over a universe of n
-// vertices with the given hub IDs.
-func NewStreaming(n int, hubIDs []uint32) *Streaming {
+// vertices with the given hub IDs. Every hub ID must be a distinct
+// vertex in [0, n); anything else is rejected with an error rather
+// than corrupting (or panicking) the counter, since hub sets arrive
+// from callers — on the serving path, straight from request bodies.
+func NewStreaming(n int, hubIDs []uint32) (*Streaming, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: streaming counter needs a non-negative vertex count, got %d", n)
+	}
 	s := &Streaming{
 		hubIdx:     make([]int32, n),
 		hubs:       len(hubIDs),
@@ -57,6 +71,12 @@ func NewStreaming(n int, hubIDs []uint32) *Streaming {
 	}
 	s.hubVertex = make([]uint32, len(hubIDs))
 	for i, h := range hubIDs {
+		if int64(h) >= int64(n) {
+			return nil, fmt.Errorf("core: hub ID %d out of range for %d vertices", h, n)
+		}
+		if s.hubIdx[h] >= 0 {
+			return nil, fmt.Errorf("core: duplicate hub ID %d", h)
+		}
 		s.hubIdx[h] = int32(i)
 		s.hubVertex[i] = h
 	}
@@ -65,27 +85,40 @@ func NewStreaming(n int, hubIDs []uint32) *Streaming {
 	for i := range s.h2h {
 		s.h2h[i] = make([]uint64, s.words)
 	}
-	return s
+	return s, nil
 }
 
-// Edges returns the number of distinct edges accepted so far.
-func (s *Streaming) Edges() uint64 { return s.edges }
+// NumVertices returns the size of the vertex universe.
+func (s *Streaming) NumVertices() int { return len(s.hubIdx) }
+
+// NumHubs returns the number of designated hubs.
+func (s *Streaming) NumHubs() int { return s.hubs }
+
+// Edges returns the number of distinct edges accepted so far. Safe to
+// call concurrently with ingest.
+func (s *Streaming) Edges() uint64 { return s.edges.Load() }
 
 // HubTriangles returns the running count of triangles containing at
-// least one hub.
-func (s *Streaming) HubTriangles() uint64 { return s.hhh + s.hhn + s.hnn }
-
-// Classes returns the per-class running counts (NNN is zero unless
-// CountNonHub is set).
-func (s *Streaming) Classes() (hhh, hhn, hnn, nnn uint64) {
-	return s.hhh, s.hhn, s.hnn, s.nnn
+// least one hub. Safe to call concurrently with ingest.
+func (s *Streaming) HubTriangles() uint64 {
+	return s.hhh.Load() + s.hhn.Load() + s.hnn.Load()
 }
 
+// Classes returns the per-class running counts (NNN is zero unless
+// CountNonHub is set). Safe to call concurrently with ingest.
+func (s *Streaming) Classes() (hhh, hhn, hnn, nnn uint64) {
+	return s.hhh.Load(), s.hhn.Load(), s.hnn.Load(), s.nnn.Load()
+}
+
+// negU64 is the two's-complement negation used to subtract from the
+// atomic running counters.
+func negU64(x uint64) uint64 { return ^x + 1 }
+
 // AddEdge feeds one undirected edge into the stream and returns the
-// number of hub triangles it closed. Self loops and duplicate edges
-// are ignored.
+// number of hub triangles it closed. Self loops, duplicate edges and
+// out-of-range endpoints are ignored.
 func (s *Streaming) AddEdge(u, v uint32) uint64 {
-	if u == v {
+	if u == v || int64(u) >= int64(len(s.hubIdx)) || int64(v) >= int64(len(s.hubIdx)) {
 		return 0
 	}
 	hu, hv := s.hubIdx[u], s.hubIdx[v]
@@ -120,15 +153,15 @@ func (s *Streaming) addHubHub(a, b int32) uint64 {
 	for w := 0; w < s.words; w++ {
 		closed += uint64(bits.OnesCount64(ra[w] & rb[w]))
 	}
-	s.hhh += closed
+	s.hhh.Add(closed)
 	// HHN: non-hubs adjacent to both hubs. Hub adjacency of
 	// non-hubs is in hubNbrs; intersect the hubs' non-hub neighbour
 	// lists, kept in nonHubNbrs under the hub's own vertex slot.
 	hhn := intersectSortedU32(s.nonHubNbrs[s.hubVertexSlotInv(a)], s.nonHubNbrs[s.hubVertexSlotInv(b)])
-	s.hhn += hhn
+	s.hhn.Add(hhn)
 	closed += hhn
 	s.h2hSet(a, b)
-	s.edges++
+	s.edges.Add(1)
 	return closed
 }
 
@@ -150,14 +183,14 @@ func (s *Streaming) addHubNonHub(h int32, x uint32) uint64 {
 			closed++
 		}
 	}
-	s.hhn += closed
+	s.hhn.Add(closed)
 	// HNN: non-hubs y adjacent to both h and x.
 	hnn := intersectSortedU32(s.nonHubNbrs[hv], s.nonHubNbrs[x])
-	s.hnn += hnn
+	s.hnn.Add(hnn)
 	closed += hnn
 	insertI32(&s.hubNbrs[x], h)
 	insertU32(&s.nonHubNbrs[hv], x)
-	s.edges++
+	s.edges.Add(1)
 	return closed
 }
 
@@ -167,23 +200,24 @@ func (s *Streaming) addNonHubNonHub(x, y uint32) uint64 {
 	}
 	// HNN: hubs adjacent to both endpoints.
 	closed := intersectSortedI32(s.hubNbrs[x], s.hubNbrs[y])
-	s.hnn += closed
+	s.hnn.Add(closed)
 	if s.CountNonHub {
-		s.nnn += intersectSortedU32(s.nonHubNbrs[x], s.nonHubNbrs[y])
+		s.nnn.Add(intersectSortedU32(s.nonHubNbrs[x], s.nonHubNbrs[y]))
 	}
 	insertU32(&s.nonHubNbrs[x], y)
 	insertU32(&s.nonHubNbrs[y], x)
-	s.edges++
+	s.edges.Add(1)
 	return closed
 }
 
 // RemoveEdge deletes an undirected edge from the stream and returns
-// the number of hub triangles it destroyed. Unknown edges and self
-// loops are ignored. Together with AddEdge this makes the counter
-// fully dynamic: any interleaving of insertions and deletions leaves
-// the counts equal to those of the resulting graph.
+// the number of hub triangles it destroyed. Unknown edges, self
+// loops and out-of-range endpoints are ignored. Together with AddEdge
+// this makes the counter fully dynamic: any interleaving of
+// insertions and deletions leaves the counts equal to those of the
+// resulting graph.
 func (s *Streaming) RemoveEdge(u, v uint32) uint64 {
-	if u == v {
+	if u == v || int64(u) >= int64(len(s.hubIdx)) || int64(v) >= int64(len(s.hubIdx)) {
 		return 0
 	}
 	hu, hv := s.hubIdx[u], s.hubIdx[v]
@@ -217,11 +251,11 @@ func (s *Streaming) removeHubHub(a, b int32) uint64 {
 	for w := 0; w < s.words; w++ {
 		destroyed += uint64(bits.OnesCount64(ra[w] & rb[w]))
 	}
-	s.hhh -= destroyed
+	s.hhh.Add(negU64(destroyed))
 	hhn := intersectSortedU32(s.nonHubNbrs[s.hubVertexSlotInv(a)], s.nonHubNbrs[s.hubVertexSlotInv(b)])
-	s.hhn -= hhn
+	s.hhn.Add(negU64(hhn))
 	destroyed += hhn
-	s.edges--
+	s.edges.Add(negU64(1))
 	return destroyed
 }
 
@@ -238,11 +272,11 @@ func (s *Streaming) removeHubNonHub(h int32, x uint32) uint64 {
 			destroyed++
 		}
 	}
-	s.hhn -= destroyed
+	s.hhn.Add(negU64(destroyed))
 	hnn := intersectSortedU32(s.nonHubNbrs[hv], s.nonHubNbrs[x])
-	s.hnn -= hnn
+	s.hnn.Add(negU64(hnn))
 	destroyed += hnn
-	s.edges--
+	s.edges.Add(negU64(1))
 	return destroyed
 }
 
@@ -253,11 +287,11 @@ func (s *Streaming) removeNonHubNonHub(x, y uint32) uint64 {
 	removeU32(&s.nonHubNbrs[x], y)
 	removeU32(&s.nonHubNbrs[y], x)
 	destroyed := intersectSortedI32(s.hubNbrs[x], s.hubNbrs[y])
-	s.hnn -= destroyed
+	s.hnn.Add(negU64(destroyed))
 	if s.CountNonHub {
-		s.nnn -= intersectSortedU32(s.nonHubNbrs[x], s.nonHubNbrs[y])
+		s.nnn.Add(negU64(intersectSortedU32(s.nonHubNbrs[x], s.nonHubNbrs[y])))
 	}
-	s.edges--
+	s.edges.Add(negU64(1))
 	return destroyed
 }
 

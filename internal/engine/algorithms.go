@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
 	"lotustc/internal/baseline"
@@ -47,15 +48,31 @@ func init() {
 }
 
 // lotusKernel runs flat LOTUS: Algorithm 2 preprocessing followed by
-// the three counting phases, all on the task's bound pool.
+// the three counting phases, all on the task's bound pool. A
+// Params.Prepared structure (a serving cache hit) skips preprocessing
+// entirely; the preprocess phase is then reported as zero.
 func lotusKernel(t *Task) (uint64, error) {
-	lg := core.Preprocess(t.Graph, core.Options{
-		HubCount:      t.Params.HubCount,
-		FrontFraction: t.Params.FrontFraction,
-		Pool:          t.Pool,
-		Metrics:       t.Metrics(),
-	})
-	t.Report.AddPhase(PhasePreprocess, lg.PreprocessTime)
+	lg := t.Params.Prepared
+	if lg != nil && lg.NumVertices() != t.Graph.NumVertices() {
+		return 0, fmt.Errorf("engine: prepared LOTUS structure has %d vertices, graph has %d",
+			lg.NumVertices(), t.Graph.NumVertices())
+	}
+	if lg == nil {
+		var err error
+		lg, err = core.TryPreprocess(t.Graph, core.Options{
+			HubCount:      t.Params.HubCount,
+			FrontFraction: t.Params.FrontFraction,
+			Pool:          t.Pool,
+			Metrics:       t.Metrics(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		t.Report.AddPhase(PhasePreprocess, lg.PreprocessTime)
+	} else {
+		t.Report.AddPhase(PhasePreprocess, 0)
+		t.Metrics().Set("preprocess.cached", 1)
+	}
 	if err := t.Err(); err != nil {
 		return 0, err
 	}
@@ -82,7 +99,7 @@ func lotusKernel(t *Task) (uint64, error) {
 // on degenerate inputs (e.g. cancellation before the first level
 // completed) Levels can be empty, which must not panic.
 func lotusRecursiveKernel(t *Task) (uint64, error) {
-	rr := core.CountRecursive(t.Graph, t.Pool, core.RecursiveOptions{
+	rr, err := core.CountRecursive(t.Graph, t.Pool, core.RecursiveOptions{
 		Options: core.Options{
 			HubCount:      t.Params.HubCount,
 			FrontFraction: t.Params.FrontFraction,
@@ -91,6 +108,9 @@ func lotusRecursiveKernel(t *Task) (uint64, error) {
 		},
 		MaxDepth: t.Params.MaxDepth,
 	})
+	if err != nil {
+		return 0, err
+	}
 	if err := t.Err(); err != nil {
 		return 0, err
 	}

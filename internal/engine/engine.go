@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"lotustc/internal/core"
 	"lotustc/internal/graph"
 	"lotustc/internal/obs"
 	"lotustc/internal/sched"
@@ -17,6 +18,12 @@ const DefaultAlgorithm = "lotus"
 
 // ErrNilGraph is returned by Run when the input graph is nil.
 var ErrNilGraph = errors.New("engine: nil graph")
+
+// ErrNeedsSymmetric is wrapped into the error Run returns when an
+// oriented graph is handed to an algorithm whose capabilities demand
+// a symmetric one; servers match it with errors.Is to classify the
+// failure as the caller's (a 4xx), not the process's.
+var ErrNeedsSymmetric = errors.New("requires a symmetric graph")
 
 // Canonical phase names recorded by the LOTUS kernels. Baselines
 // record no phases (their preprocessing is fused into the kernel).
@@ -65,6 +72,14 @@ type Params struct {
 	HNNBlocks int
 	// WorkStealing schedules phase-1 tiles on work-stealing deques.
 	WorkStealing bool
+	// Prepared supplies an already-built LOTUS structure for the same
+	// graph, letting a resident service amortize preprocessing across
+	// queries: the "lotus" kernel skips Algorithm 2 and records a
+	// zero-length preprocess phase. The structure must have been built
+	// from the run's graph (the kernel cross-checks the vertex count);
+	// kernels that rebuild per level (lotus-recursive) and the
+	// baselines ignore it.
+	Prepared *core.LotusGraph
 }
 
 // Phase is one timed stage of a run.
@@ -167,7 +182,7 @@ func Run(ctx context.Context, g *graph.Graph, spec Spec) (*Report, error) {
 		return nil, err
 	}
 	if reg.Caps.NeedsSymmetric && g.Oriented {
-		return nil, fmt.Errorf("engine: algorithm %q requires a symmetric graph, got an oriented one", name)
+		return nil, fmt.Errorf("engine: algorithm %q %w, got an oriented one", name, ErrNeedsSymmetric)
 	}
 	if ctx == nil {
 		ctx = context.Background()

@@ -362,7 +362,11 @@ func RunAblationRecursive(w io.Writer, s Suite, workers int) {
 		flat := lg.Count(pool)
 		flatS := time.Since(t0).Seconds()
 		t1 := time.Now()
-		rec := core.CountRecursive(g, pool, core.RecursiveOptions{MaxDepth: 3})
+		rec, err := core.CountRecursive(g, pool, core.RecursiveOptions{MaxDepth: 3})
+		if err != nil {
+			fmt.Fprintf(w, "%-12s RECURSIVE ERROR %v\n", d.Name, err)
+			continue
+		}
 		recS := time.Since(t1).Seconds()
 		if flat.Total != rec.Total {
 			fmt.Fprintf(w, "%-12s COUNT MISMATCH flat=%d rec=%d\n", d.Name, flat.Total, rec.Total)

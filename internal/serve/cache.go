@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"lotustc/internal/obs"
+)
+
+// lru is a byte-budgeted LRU over opaque values. It is not safe for
+// concurrent use; buildCache serializes access under its own lock.
+type lru struct {
+	max   int64
+	bytes int64
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key   string
+	val   any
+	bytes int64
+}
+
+func newLRU(maxBytes int64) *lru {
+	return &lru{max: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lru) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts key (replacing any previous entry) and evicts from the
+// cold end until the budget holds again, returning the eviction
+// count. Values larger than the whole budget are not cached at all:
+// admitting one would empty the cache for a value that can never be
+// resident anyway.
+func (c *lru) add(key string, val any, bytes int64) (evicted int) {
+	if bytes > c.max {
+		return 0
+	}
+	if el, ok := c.items[key]; ok {
+		c.bytes += bytes - el.Value.(*lruEntry).bytes
+		el.Value.(*lruEntry).val = val
+		el.Value.(*lruEntry).bytes = bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, bytes: bytes})
+		c.bytes += bytes
+	}
+	for c.bytes > c.max && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		ent := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.bytes -= ent.bytes
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lru) len() int { return c.ll.Len() }
+
+// buildCache is the preprocessed-structure cache: a byte-budgeted LRU
+// with single-flight build deduplication. A thundering herd of
+// identical cold queries triggers exactly one build; every other
+// caller waits on that flight. The build runs detached from any one
+// request's context, so a caller that times out gets its error while
+// the build completes for the herd and lands in the cache — a
+// request deadline never poisons the cache with a half-built
+// structure.
+type buildCache struct {
+	name  string // metric prefix: "<name>.hits", "<name>.misses", ...
+	mu    sync.Mutex
+	lru   *lru
+	calls map[string]*buildCall
+	met   *obs.Metrics
+}
+
+type buildCall struct {
+	done chan struct{}
+	val  any
+	size int64
+	err  error
+}
+
+func newBuildCache(name string, maxBytes int64, met *obs.Metrics) *buildCache {
+	return &buildCache{name: name, lru: newLRU(maxBytes), calls: map[string]*buildCall{}, met: met}
+}
+
+// getOrBuild returns the value for key, building it at most once no
+// matter how many callers arrive concurrently. hit reports that this
+// caller did not pay for a build (LRU hit or shared flight). When ctx
+// expires while waiting, the caller gets ctx.Err() and the in-flight
+// build keeps running for the others.
+func (c *buildCache) getOrBuild(ctx context.Context, key string, build func() (any, int64, error)) (v any, hit bool, err error) {
+	c.mu.Lock()
+	if v, ok := c.lru.get(key); ok {
+		c.met.Add(c.name+".hits", 1)
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	call, inflight := c.calls[key]
+	if !inflight {
+		call = &buildCall{done: make(chan struct{})}
+		c.calls[key] = call
+		c.met.Add(c.name+".misses", 1)
+		c.met.Add(c.name+".builds", 1)
+		go c.run(key, call, build)
+	} else {
+		c.met.Add(c.name+".flight_shared", 1)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-call.done:
+		return call.val, inflight, call.err
+	case <-ctx.Done():
+		c.met.Add(c.name+".wait_timeouts", 1)
+		return nil, false, ctx.Err()
+	}
+}
+
+// run executes one detached build, converting panics to errors (a
+// malformed input must fail its requests, never the process), then
+// publishes the result and retires the flight.
+func (c *buildCache) run(key string, call *buildCall, build func() (any, int64, error)) {
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				call.err = fmt.Errorf("serve: building %s: panic: %v", key, r)
+			}
+		}()
+		call.val, call.size, call.err = build()
+	}()
+	c.mu.Lock()
+	delete(c.calls, key)
+	if call.err == nil {
+		evicted := c.lru.add(key, call.val, call.size)
+		c.met.Add(c.name+".evictions", int64(evicted))
+		c.met.Set(c.name+".bytes", c.lru.bytes)
+		c.met.Set(c.name+".entries", int64(c.lru.len()))
+	}
+	c.mu.Unlock()
+	close(call.done)
+}
+
+// peek reports whether key is resident without touching recency or
+// metrics (used by tests and /metrics debugging).
+func (c *buildCache) peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.lru.items[key]
+	return ok
+}

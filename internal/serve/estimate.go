@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"context"
+
+	"lotustc/internal/approx"
+	"lotustc/internal/core"
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+// estimate dispatches to the approximate counters with a pool bound
+// to the request context, so the PR 1 cancellation path bounds these
+// the same way it bounds exact counts.
+func (s *Server) estimate(ctx context.Context, g *graph.Graph, req *EstimateRequest) (float64, error) {
+	pool := sched.NewPool(s.cfg.Workers).Bind(ctx)
+	defer pool.Release()
+	var est float64
+	switch req.Method {
+	case "doulion":
+		est = approx.Doulion(g, req.P, req.Seed, pool)
+	case "wedge":
+		est = approx.WedgeSampling(g, req.Samples, req.Seed)
+	case "hybrid":
+		est = approx.Hybrid(g, req.P, req.Seed, core.Options{Pool: pool}, pool).Estimate
+	}
+	// A cancelled pool returns whatever partial sums the workers
+	// reached; report the deadline instead of a silently-low estimate.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return est, nil
+}

@@ -1,0 +1,698 @@
+// Package serve implements lotus-serve: a resident triangle-counting
+// service over the engine registry. The point of a long-lived process
+// is amortization — LOTUS preprocessing averages ~20% of end-to-end
+// time (Fig 6) and graph generation/loading dwarfs even that — so the
+// server keeps a size-bounded LRU of built graphs and preprocessed
+// LotusGraph structures keyed by (graph spec, hub count, relabeling
+// options), deduplicates concurrent cold builds with single-flight,
+// and memoizes exact count reports.
+//
+// Robustness is the other half of the design: every request is
+// validated before it allocates, bounded by a per-request timeout
+// through the engine's cooperative-cancellation path, admitted
+// through a concurrency semaphore with a bounded wait queue, and any
+// panic that escapes the layers below is converted to a JSON 500
+// while the process keeps serving. /healthz and /metrics expose
+// liveness and the obs counter registry (cache hits/misses/evictions,
+// queue depth, per-request phase timings).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lotustc/internal/core"
+	"lotustc/internal/engine"
+	"lotustc/internal/graph"
+	"lotustc/internal/obs"
+	"lotustc/internal/sched"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production-lean default.
+type Config struct {
+	// CacheBytes budgets the graph + LOTUS structure LRU (default
+	// 1 GiB).
+	CacheBytes int64
+	// ResultEntries budgets the memoized exact-count reports (default
+	// 512).
+	ResultEntries int
+	// MaxConcurrent bounds counting work admitted at once (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for admission; excess gets 429
+	// (default 64).
+	MaxQueue int
+	// DefaultTimeout applies when a request names none (default 60s);
+	// MaxTimeout clamps what a request may ask for (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Workers is the per-count scheduler width (0 = GOMAXPROCS).
+	Workers int
+	// AllowFiles permits {"type":"file"} graph specs.
+	AllowFiles bool
+	// Stream session limits.
+	MaxStreams        int // concurrent sessions (default 64)
+	MaxStreamVertices int // vertex universe per session (default 2^22)
+	MaxStreamHubs     int // hubs per session (default 2^14)
+	MaxStreamBatch    int // edges per ingest request (default 2^20)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 1 << 30
+	}
+	if c.ResultEntries <= 0 {
+		c.ResultEntries = 512
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 64
+	}
+	if c.MaxStreamVertices <= 0 {
+		c.MaxStreamVertices = 1 << 22
+	}
+	if c.MaxStreamHubs <= 0 {
+		c.MaxStreamHubs = 1 << 14
+	}
+	if c.MaxStreamBatch <= 0 {
+		c.MaxStreamBatch = 1 << 20
+	}
+	return c
+}
+
+// Server is the resident counting service. Create with New, mount
+// Handler on an http.Server, and call BeginDrain before shutting the
+// http.Server down so /healthz flips to draining while in-flight
+// requests finish.
+type Server struct {
+	cfg   Config
+	met   *obs.Metrics
+	cache *buildCache // "graph:" and "lotus:" entries share one budget
+
+	resMu   sync.Mutex
+	results *lru // result memoization: key -> *CountResponse
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	active   atomic.Int64
+	draining atomic.Bool
+	started  time.Time
+
+	streams *streamRegistry
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := obs.New()
+	s := &Server{
+		cfg:     cfg,
+		met:     met,
+		cache:   newBuildCache("cache", cfg.CacheBytes, met),
+		results: newLRU(int64(cfg.ResultEntries)),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+		streams: newStreamRegistry(cfg, met),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/count", s.handleCount)
+	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStreamCreate)
+	s.mux.HandleFunc("GET /v1/stream/{id}", s.handleStreamGet)
+	s.mux.HandleFunc("DELETE /v1/stream/{id}", s.handleStreamDelete)
+	s.mux.HandleFunc("POST /v1/stream/{id}/edges", s.handleStreamIngest)
+	obs.Publish("lotus-serve", met)
+	return s
+}
+
+// Handler returns the service's HTTP handler, wrapped in last-resort
+// panic recovery: a handler bug answers one request with a JSON 500
+// instead of killing the process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.Add("serve.panics", 1)
+				writeErr(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		s.met.Add("serve.requests", 1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Metrics exposes the server's counter registry (tests, embedding).
+func (s *Server) Metrics() *obs.Metrics { return s.met }
+
+// BeginDrain flips the server into draining mode: /healthz answers
+// 503 (so load balancers stop routing here) and new API requests are
+// refused, while requests already admitted run to completion under
+// http.Server.Shutdown.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.met.Add("serve.drains", 1)
+	}
+}
+
+// ---------------------------------------------------------------
+// Request plumbing: JSON decoding, error mapping, admission.
+
+// apiErr is the uniform JSON error envelope.
+type apiErr struct {
+	Error  string `json:"error"`
+	Code   string `json:"code"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiErr{Error: msg, Code: code, Status: status})
+}
+
+// decodeJSON parses a bounded request body strictly: unknown fields
+// are rejected so a typo'd tuning knob fails loudly instead of
+// silently running with defaults.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 128<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second document in the body is a malformed request too.
+	if dec.More() {
+		return errors.New("request body holds more than one JSON document")
+	}
+	return nil
+}
+
+// errStatus classifies an error from the counting stack into an HTTP
+// status: caller mistakes are 4xx, deadline expiry is 504, anything
+// else is the server's fault.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "canceled"
+	case errors.Is(err, core.ErrOriented), errors.Is(err, engine.ErrNeedsSymmetric):
+		return http.StatusBadRequest, "oriented_graph"
+	case errors.Is(err, core.ErrNilGraph), errors.Is(err, engine.ErrNilGraph):
+		return http.StatusBadRequest, "nil_graph"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// timeout resolves a request's wall-clock budget.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// admit passes the request through the admission gate: draining
+// refuses outright, a full wait queue answers 429, and a request
+// whose deadline expires while queued answers 504 without ever
+// starting work. On success the returned release must be called.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return nil, false
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.met.Add("serve.rejected", 1)
+		writeErr(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("admission queue is full (%d waiting)", s.cfg.MaxQueue))
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+		s.active.Add(1)
+		return func() { s.active.Add(-1); <-s.sem }, true
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.met.Add("serve.queue_timeouts", 1)
+		writeErr(w, http.StatusGatewayTimeout, "queue_timeout",
+			"request deadline expired while waiting for admission")
+		return nil, false
+	}
+}
+
+// ---------------------------------------------------------------
+// Cached builds.
+
+// getGraph returns the built graph for spec through the cache.
+func (s *Server) getGraph(ctx context.Context, spec *GraphSpec) (*graph.Graph, bool, error) {
+	v, hit, err := s.cache.getOrBuild(ctx, "graph:"+spec.Key(), func() (any, int64, error) {
+		g, err := spec.Build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, graphBytes(g), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*graph.Graph), hit, nil
+}
+
+// lotusKey is the preprocessed-structure cache key: graph spec plus
+// every option that changes the built structure (hub count and the
+// relabeling front fraction).
+func lotusKey(spec *GraphSpec, hubCount int, frontFraction float64) string {
+	return fmt.Sprintf("lotus:%s|hubs=%d|ff=%g", spec.Key(), hubCount, frontFraction)
+}
+
+// getLotus returns the preprocessed LOTUS structure for (spec, hubs,
+// front fraction) through the cache, building the graph first (also
+// cached) on a miss. Builds run on a scheduler detached from the
+// request so a herd of deadline-bound callers still produces one
+// complete structure.
+func (s *Server) getLotus(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64) (*core.LotusGraph, bool, error) {
+	v, hit, err := s.cache.getOrBuild(ctx, lotusKey(spec, hubCount, frontFraction), func() (any, int64, error) {
+		pool := sched.NewPool(s.cfg.Workers)
+		lg, err := core.TryPreprocess(g, core.Options{
+			HubCount:      hubCount,
+			FrontFraction: frontFraction,
+			Pool:          pool,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		// Relabeling rides along for per-vertex queries: 4 bytes per
+		// vertex on top of the Table 7 topology accounting.
+		return lg, lg.TopologyBytes() + 4*int64(lg.NumVertices()), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*core.LotusGraph), hit, nil
+}
+
+// ---------------------------------------------------------------
+// /v1/count
+
+// CountRequest asks for an exact triangle count.
+type CountRequest struct {
+	Graph     GraphSpec `json:"graph"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Workers   int       `json:"workers,omitempty"`
+	// LOTUS tuning; both are part of the structure cache key.
+	HubCount      int     `json:"hub_count,omitempty"`
+	FrontFraction float64 `json:"front_fraction,omitempty"`
+	// TimeoutMS bounds the request (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Metrics asks for the per-phase counter snapshot; such runs
+	// bypass the result cache (their metrics are the point).
+	Metrics bool `json:"metrics,omitempty"`
+	// NoCache bypasses the result cache (structure caches still
+	// apply) — for measuring, not serving.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// CacheInfo reports which cache layers served a request.
+type CacheInfo struct {
+	Graph  bool `json:"graph_hit"`
+	Lotus  bool `json:"lotus_hit"`
+	Result bool `json:"result_hit"`
+}
+
+// CountResponse is the run report plus cache provenance.
+type CountResponse struct {
+	obs.RunReport
+	Cache CacheInfo `json:"cache"`
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req CountRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if err := req.Graph.Validate(s.cfg.AllowFiles); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_graph_spec", err.Error())
+		return
+	}
+	algo := req.Algorithm
+	if algo == "" {
+		algo = engine.DefaultAlgorithm
+	}
+	if _, err := engine.Lookup(algo); err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_algorithm", err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	resultKey := fmt.Sprintf("count:%s|algo=%s|hubs=%d|ff=%g",
+		req.Graph.Key(), algo, req.HubCount, req.FrontFraction)
+	useResultCache := !req.NoCache && !req.Metrics
+	if useResultCache {
+		s.resMu.Lock()
+		v, ok := s.results.get(resultKey)
+		s.resMu.Unlock()
+		if ok {
+			s.met.Add("result.hits", 1)
+			resp := *(v.(*CountResponse))
+			resp.Cache = CacheInfo{Graph: true, Lotus: true, Result: true}
+			writeJSON(w, http.StatusOK, &resp)
+			return
+		}
+		s.met.Add("result.misses", 1)
+	}
+
+	start := time.Now()
+	g, graphHit, err := s.getGraph(ctx, &req.Graph)
+	if err != nil {
+		s.countError(w, &req, algo, start, err)
+		return
+	}
+	var prepared *core.LotusGraph
+	var lotusHit bool
+	if algo == "lotus" && !g.Oriented {
+		prepared, lotusHit, err = s.getLotus(ctx, &req.Graph, g, req.HubCount, req.FrontFraction)
+		if err != nil {
+			s.countError(w, &req, algo, start, err)
+			return
+		}
+	}
+	rep, err := engine.Run(ctx, g, engine.Spec{
+		Algorithm:      algo,
+		Workers:        firstPositive(req.Workers, s.cfg.Workers),
+		CollectMetrics: req.Metrics,
+		Params: engine.Params{
+			HubCount:      req.HubCount,
+			FrontFraction: req.FrontFraction,
+			Prepared:      prepared,
+		},
+	})
+	if err != nil {
+		s.countError(w, &req, algo, start, err)
+		return
+	}
+
+	rr := obs.NewRunReport("lotus-serve")
+	rr.Graph = obs.GraphInfo{Source: req.Graph.Key(), Vertices: int64(g.NumVertices()), Edges: g.NumEdges()}
+	rr.Algorithm = algo
+	rr.Workers = firstPositive(req.Workers, s.cfg.Workers)
+	rr.Triangles = rep.Triangles
+	rr.ElapsedNS = rep.Elapsed.Nanoseconds()
+	rr.Metrics = rep.Metrics
+	for _, p := range rep.Phases {
+		rr.Phases = append(rr.Phases, obs.PhaseNS{Name: p.Name, NS: p.Duration.Nanoseconds()})
+	}
+	if algo == "lotus" || algo == "lotus-recursive" {
+		rr.Classes = &obs.Classes{HHH: rep.HHH, HHN: rep.HHN, HNN: rep.HNN, NNN: rep.NNN}
+	}
+	resp := &CountResponse{RunReport: *rr, Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit}}
+	if useResultCache {
+		s.resMu.Lock()
+		s.results.add(resultKey, resp, 1)
+		s.met.Set("result.entries", int64(s.results.len()))
+		s.resMu.Unlock()
+	}
+	s.met.AddDuration("serve.count_ns", time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// countError answers a failed count with the classified status and a
+// partial run report: the graph spec, algorithm and elapsed time are
+// real; everything else is absent.
+func (s *Server) countError(w http.ResponseWriter, req *CountRequest, algo string, start time.Time, err error) {
+	status, code := errStatus(err)
+	if status == http.StatusGatewayTimeout {
+		s.met.Add("serve.timeouts", 1)
+	} else if status >= http.StatusInternalServerError {
+		s.met.Add("serve.errors", 1)
+	}
+	rr := obs.NewRunReport("lotus-serve")
+	rr.Graph = obs.GraphInfo{Source: req.Graph.Key()}
+	rr.Algorithm = algo
+	rr.ElapsedNS = time.Since(start).Nanoseconds()
+	rr.Error = err.Error()
+	writeJSON(w, status, struct {
+		obs.RunReport
+		Code string `json:"code"`
+	}{RunReport: *rr, Code: code})
+}
+
+func firstPositive(vals ...int) int {
+	for _, v := range vals {
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------
+// /v1/topk — per-vertex top-k triangle participation.
+
+// TopKRequest asks for the k vertices in the most triangles.
+type TopKRequest struct {
+	Graph         GraphSpec `json:"graph"`
+	K             int       `json:"k,omitempty"`
+	HubCount      int       `json:"hub_count,omitempty"`
+	FrontFraction float64   `json:"front_fraction,omitempty"`
+	Workers       int       `json:"workers,omitempty"`
+	TimeoutMS     int64     `json:"timeout_ms,omitempty"`
+}
+
+// VertexCount is one top-k row, in original vertex IDs.
+type VertexCount struct {
+	Vertex    uint32 `json:"vertex"`
+	Triangles uint64 `json:"triangles"`
+}
+
+// TopKResponse lists the top-k vertices by triangle participation.
+type TopKResponse struct {
+	K        int           `json:"k"`
+	Vertices []VertexCount `json:"vertices"`
+	Cache    CacheInfo     `json:"cache"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if err := req.Graph.Validate(s.cfg.AllowFiles); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_graph_spec", err.Error())
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > 10000 {
+		writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("k %d exceeds the limit of 10000", req.K))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	g, graphHit, err := s.getGraph(ctx, &req.Graph)
+	if err != nil {
+		status, code := errStatus(err)
+		writeErr(w, status, code, err.Error())
+		return
+	}
+	lg, lotusHit, err := s.getLotus(ctx, &req.Graph, g, req.HubCount, req.FrontFraction)
+	if err != nil {
+		status, code := errStatus(err)
+		writeErr(w, status, code, err.Error())
+		return
+	}
+	pool := sched.NewPool(firstPositive(req.Workers, s.cfg.Workers)).Bind(ctx)
+	per := lg.CountPerVertex(pool)
+	pool.Release()
+	if err := ctx.Err(); err != nil {
+		status, code := errStatus(err)
+		s.met.Add("serve.timeouts", 1)
+		writeErr(w, status, code, "deadline expired during per-vertex counting")
+		return
+	}
+	// per is indexed by relabeled IDs; report original ones.
+	top := topKVertices(per, lg.Relabeling, req.K)
+	writeJSON(w, http.StatusOK, &TopKResponse{K: len(top), Vertices: top,
+		Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit}})
+}
+
+// topKVertices selects the k highest counts (ties broken by original
+// vertex ID) and maps them back through the relabeling array.
+func topKVertices(perNew []uint64, relabel []uint32, k int) []VertexCount {
+	out := make([]VertexCount, 0, len(perNew))
+	for old, nw := range relabel {
+		if c := perNew[nw]; c > 0 {
+			out = append(out, VertexCount{Vertex: uint32(old), Triangles: c})
+		}
+	}
+	// Full sort is fine at the vertex counts this server admits; the
+	// k cap keeps the response small, not the sort cheap.
+	sortVertexCounts(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func sortVertexCounts(vc []VertexCount) {
+	// Stable ordering: triangles desc, then vertex ID asc.
+	sort.Slice(vc, func(i, j int) bool {
+		if vc[i].Triangles != vc[j].Triangles {
+			return vc[i].Triangles > vc[j].Triangles
+		}
+		return vc[i].Vertex < vc[j].Vertex
+	})
+}
+
+// ---------------------------------------------------------------
+// /v1/estimate — approximate counting.
+
+// EstimateRequest asks for an approximate triangle count.
+type EstimateRequest struct {
+	Graph GraphSpec `json:"graph"`
+	// Method: "doulion" (edge sparsification), "wedge" (wedge
+	// sampling) or "hybrid" (LOTUS-exact hub triangles + sampled NNN).
+	Method    string  `json:"method"`
+	P         float64 `json:"p,omitempty"`
+	Samples   int     `json:"samples,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// EstimateResponse carries the estimate.
+type EstimateResponse struct {
+	Method   string    `json:"method"`
+	Estimate float64   `json:"estimate"`
+	Cache    CacheInfo `json:"cache"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if err := req.Graph.Validate(s.cfg.AllowFiles); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_graph_spec", err.Error())
+		return
+	}
+	switch req.Method {
+	case "doulion", "hybrid":
+		if req.P <= 0 || req.P > 1 {
+			writeErr(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("%s needs p in (0, 1], got %g", req.Method, req.P))
+			return
+		}
+	case "wedge":
+		if req.Samples < 1 || req.Samples > 1<<26 {
+			writeErr(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("wedge needs samples in [1, %d], got %d", 1<<26, req.Samples))
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown estimator %q (want doulion, wedge or hybrid)", req.Method))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	g, graphHit, err := s.getGraph(ctx, &req.Graph)
+	if err != nil {
+		status, code := errStatus(err)
+		writeErr(w, status, code, err.Error())
+		return
+	}
+	est, err := s.estimate(ctx, g, &req)
+	if err != nil {
+		status, code := errStatus(err)
+		if status == http.StatusGatewayTimeout {
+			s.met.Add("serve.timeouts", 1)
+		}
+		writeErr(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, &EstimateResponse{Method: req.Method, Estimate: est,
+		Cache: CacheInfo{Graph: graphHit}})
+}
+
+// ---------------------------------------------------------------
+// Health and metrics.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Gauges are sampled at snapshot time; the counters are live.
+	s.met.Set("serve.queue_depth", s.queued.Load())
+	s.met.Set("serve.active", s.active.Load())
+	s.met.Set("serve.streams_active", int64(s.streams.len()))
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.Algorithms()})
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+)
+
+// Generation limits. A resident service builds graphs straight from
+// request bodies, so every knob that sizes an allocation is bounded
+// here: an unvalidated spec is how a single request turns into an
+// out-of-memory kill of a process serving everyone else.
+const (
+	maxRMATScale   = 27        // 2^27 vertices ≈ 1 GiB of offsets alone
+	maxEdgeFactor  = 256       //
+	maxGenVertices = 1 << 27   //
+	maxGenEdges    = 1 << 30   //
+	maxCompleteN   = 1 << 12   // K_n stores n(n-1) directed edges
+	maxInlineEdges = 1 << 22   // inline JSON edge lists
+)
+
+// GraphSpec names an input graph. Exactly one Type is selected; the
+// other fields parameterize it. The canonical Key of a spec is the
+// graph half of every cache key, so two requests that mean the same
+// graph always share one cached instance.
+type GraphSpec struct {
+	// Type selects the source: "rmat", "chunglu", "erdos-renyi",
+	// "barabasi-albert", "complete", "hub-spokes", "file" (a binary
+	// graph saved by lotus-gen / SaveGraph; requires -allow-files) or
+	// "edges" (an inline edge list).
+	Type string `json:"type"`
+
+	// R-MAT parameters (Graph500 style).
+	Scale      uint  `json:"scale,omitempty"`
+	EdgeFactor int   `json:"edge_factor,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+
+	// Chung-Lu / Erdős–Rényi / Barabási–Albert / hub-spokes sizing.
+	N     int     `json:"n,omitempty"`
+	M     int     `json:"m,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+
+	// Hub-spokes shape.
+	Hubs   int `json:"hubs,omitempty"`
+	Leaves int `json:"leaves,omitempty"`
+	Attach int `json:"attach,omitempty"`
+
+	// File source.
+	Path string `json:"path,omitempty"`
+
+	// Inline edge list; Vertices pins |V| (0 infers from max ID).
+	Edges    [][2]uint32 `json:"edges,omitempty"`
+	Vertices int         `json:"vertices,omitempty"`
+}
+
+// Validate checks the spec against the generation limits before any
+// allocation happens. allowFiles gates the "file" type: a public
+// endpoint must not be a primitive for probing the server's
+// filesystem.
+func (s *GraphSpec) Validate(allowFiles bool) error {
+	switch s.Type {
+	case "rmat":
+		if s.Scale < 1 || s.Scale > maxRMATScale {
+			return fmt.Errorf("rmat scale %d out of range [1, %d]", s.Scale, maxRMATScale)
+		}
+		if s.EdgeFactor < 1 || s.EdgeFactor > maxEdgeFactor {
+			return fmt.Errorf("rmat edge_factor %d out of range [1, %d]", s.EdgeFactor, maxEdgeFactor)
+		}
+	case "chunglu":
+		if s.N < 1 || s.N > maxGenVertices {
+			return fmt.Errorf("chunglu n %d out of range [1, %d]", s.N, maxGenVertices)
+		}
+		if s.M < 0 || s.M > maxGenEdges {
+			return fmt.Errorf("chunglu m %d out of range [0, %d]", s.M, maxGenEdges)
+		}
+		if s.Gamma <= 1 || s.Gamma >= 4 {
+			return fmt.Errorf("chunglu gamma %g out of range (1, 4)", s.Gamma)
+		}
+	case "erdos-renyi":
+		if s.N < 1 || s.N > maxGenVertices {
+			return fmt.Errorf("erdos-renyi n %d out of range [1, %d]", s.N, maxGenVertices)
+		}
+		if s.M < 0 || s.M > maxGenEdges {
+			return fmt.Errorf("erdos-renyi m %d out of range [0, %d]", s.M, maxGenEdges)
+		}
+	case "barabasi-albert":
+		if s.N < 1 || s.N > maxGenVertices {
+			return fmt.Errorf("barabasi-albert n %d out of range [1, %d]", s.N, maxGenVertices)
+		}
+		if s.M < 1 || s.M > 1024 {
+			return fmt.Errorf("barabasi-albert m %d out of range [1, 1024]", s.M)
+		}
+	case "complete":
+		if s.N < 1 || s.N > maxCompleteN {
+			return fmt.Errorf("complete n %d out of range [1, %d]", s.N, maxCompleteN)
+		}
+	case "hub-spokes":
+		if s.Hubs < 1 || s.Hubs > 1<<12 {
+			return fmt.Errorf("hub-spokes hubs %d out of range [1, %d]", s.Hubs, 1<<12)
+		}
+		if s.Leaves < 0 || s.Leaves > maxGenVertices {
+			return fmt.Errorf("hub-spokes leaves %d out of range [0, %d]", s.Leaves, maxGenVertices)
+		}
+		if s.Attach < 1 || s.Attach > s.Hubs {
+			return fmt.Errorf("hub-spokes attach %d out of range [1, hubs]", s.Attach)
+		}
+	case "file":
+		if !allowFiles {
+			return fmt.Errorf("file graph specs are disabled (start the server with -allow-files)")
+		}
+		if s.Path == "" {
+			return fmt.Errorf("file spec needs a path")
+		}
+	case "edges":
+		if len(s.Edges) == 0 {
+			return fmt.Errorf("edges spec needs at least one edge")
+		}
+		if len(s.Edges) > maxInlineEdges {
+			return fmt.Errorf("edges spec has %d edges, limit %d", len(s.Edges), maxInlineEdges)
+		}
+		if s.Vertices < 0 || s.Vertices > maxGenVertices {
+			return fmt.Errorf("edges vertices %d out of range [0, %d]", s.Vertices, maxGenVertices)
+		}
+	case "":
+		return fmt.Errorf("graph spec needs a type")
+	default:
+		return fmt.Errorf("unknown graph type %q", s.Type)
+	}
+	return nil
+}
+
+// Key returns the canonical cache key of the spec. Inline edge lists
+// are keyed by content hash so identical lists share a cache entry
+// without the key itself holding the list.
+func (s *GraphSpec) Key() string {
+	switch s.Type {
+	case "rmat":
+		return fmt.Sprintf("rmat:s=%d,ef=%d,seed=%d", s.Scale, s.EdgeFactor, s.Seed)
+	case "chunglu":
+		return fmt.Sprintf("chunglu:n=%d,m=%d,g=%g,seed=%d", s.N, s.M, s.Gamma, s.Seed)
+	case "erdos-renyi":
+		return fmt.Sprintf("er:n=%d,m=%d,seed=%d", s.N, s.M, s.Seed)
+	case "barabasi-albert":
+		return fmt.Sprintf("ba:n=%d,m=%d,seed=%d", s.N, s.M, s.Seed)
+	case "complete":
+		return fmt.Sprintf("complete:n=%d", s.N)
+	case "hub-spokes":
+		return fmt.Sprintf("hubspokes:h=%d,l=%d,a=%d,seed=%d", s.Hubs, s.Leaves, s.Attach, s.Seed)
+	case "file":
+		return "file:" + s.Path
+	case "edges":
+		h := sha256.New()
+		var buf [8]byte
+		for _, e := range s.Edges {
+			binary.LittleEndian.PutUint32(buf[:4], e[0])
+			binary.LittleEndian.PutUint32(buf[4:], e[1])
+			h.Write(buf[:])
+		}
+		return fmt.Sprintf("edges:v=%d,sha=%x", s.Vertices, h.Sum(nil)[:16])
+	default:
+		return "invalid:" + s.Type
+	}
+}
+
+// Build materializes the graph. Callers must have validated the spec;
+// Build still never panics on a bad one — generator and loader errors
+// come back as errors.
+func (s *GraphSpec) Build() (*graph.Graph, error) {
+	switch s.Type {
+	case "rmat":
+		return gen.RMAT(gen.DefaultRMAT(s.Scale, s.EdgeFactor, s.Seed)), nil
+	case "chunglu":
+		return gen.ChungLu(gen.ChungLuParams{N: s.N, M: s.M, Gamma: s.Gamma, Seed: s.Seed}), nil
+	case "erdos-renyi":
+		return gen.ErdosRenyi(s.N, s.M, s.Seed), nil
+	case "barabasi-albert":
+		return gen.BarabasiAlbert(s.N, s.M, s.Seed), nil
+	case "complete":
+		return gen.Complete(s.N), nil
+	case "hub-spokes":
+		return gen.HubAndSpokes(s.Hubs, s.Leaves, s.Attach, s.Seed), nil
+	case "file":
+		return graph.LoadFile(s.Path)
+	case "edges":
+		edges := make([]graph.Edge, len(s.Edges))
+		for i, e := range s.Edges {
+			edges[i] = graph.Edge{U: e[0], V: e[1]}
+		}
+		return graph.FromEdges(edges, graph.BuildOptions{NumVertices: s.Vertices}), nil
+	default:
+		return nil, fmt.Errorf("unknown graph type %q", s.Type)
+	}
+}
+
+// graphBytes estimates the resident footprint of a CSX graph for the
+// cache budget: 8-byte offsets plus 4-byte neighbour IDs.
+func graphBytes(g *graph.Graph) int64 {
+	return 8*(int64(g.NumVertices())+1) + 4*g.NumDirectedEdges()
+}

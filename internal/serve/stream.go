@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"lotustc/internal/core"
+	"lotustc/internal/obs"
+)
+
+// streamSession is one live streaming-ingest counter. Ingest mutates
+// adjacency structures and is serialized under mu (single-writer
+// contract of core.Streaming); the class counters are atomics, so
+// GET reads them lock-free while a batch is mid-ingest.
+type streamSession struct {
+	id string
+
+	mu sync.Mutex // serializes AddEdge/RemoveEdge
+	sc *core.Streaming
+}
+
+// streamRegistry holds the live sessions, bounded by Config.MaxStreams
+// so an abandoning client cannot grow the process without limit.
+type streamRegistry struct {
+	mu       sync.Mutex
+	sessions map[string]*streamSession
+	nextID   atomic.Uint64
+	max      int
+	met      *obs.Metrics
+}
+
+func newStreamRegistry(cfg Config, met *obs.Metrics) *streamRegistry {
+	return &streamRegistry{sessions: map[string]*streamSession{}, max: cfg.MaxStreams, met: met}
+}
+
+func (r *streamRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+func (r *streamRegistry) create(sc *core.Streaming) (*streamSession, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.sessions) >= r.max {
+		return nil, fmt.Errorf("stream session limit reached (%d live)", r.max)
+	}
+	ss := &streamSession{id: fmt.Sprintf("s%d", r.nextID.Add(1)), sc: sc}
+	r.sessions[ss.id] = ss
+	r.met.Add("stream.created", 1)
+	return ss, nil
+}
+
+func (r *streamRegistry) get(id string) (*streamSession, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ss, ok := r.sessions[id]
+	return ss, ok
+}
+
+func (r *streamRegistry) delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[id]; !ok {
+		return false
+	}
+	delete(r.sessions, id)
+	r.met.Add("stream.deleted", 1)
+	return true
+}
+
+// ---------------------------------------------------------------
+// Handlers.
+
+// StreamCreateRequest opens a streaming session over a fixed vertex
+// universe with a designated hub set.
+type StreamCreateRequest struct {
+	Vertices int      `json:"vertices"`
+	Hubs     []uint32 `json:"hubs"`
+	// CountNonHub additionally maintains NNN triangles (adjacency
+	// for every vertex, not just hubs).
+	CountNonHub bool `json:"count_non_hub,omitempty"`
+}
+
+// StreamState is the lock-free snapshot of a session's counters.
+type StreamState struct {
+	ID           string `json:"id"`
+	Vertices     int    `json:"vertices"`
+	Hubs         int    `json:"hubs"`
+	Edges        uint64 `json:"edges"`
+	HubTriangles uint64 `json:"hub_triangles"`
+	HHH          uint64 `json:"hhh"`
+	HHN          uint64 `json:"hhn"`
+	HNN          uint64 `json:"hnn"`
+	NNN          uint64 `json:"nnn"`
+}
+
+func streamState(ss *streamSession) *StreamState {
+	hhh, hhn, hnn, nnn := ss.sc.Classes()
+	return &StreamState{
+		ID:           ss.id,
+		Vertices:     ss.sc.NumVertices(),
+		Hubs:         ss.sc.NumHubs(),
+		Edges:        ss.sc.Edges(),
+		HubTriangles: ss.sc.HubTriangles(),
+		HHH:          hhh, HHN: hhn, HNN: hnn, NNN: nnn,
+	}
+}
+
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	var req StreamCreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if req.Vertices < 1 || req.Vertices > s.cfg.MaxStreamVertices {
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("vertices %d out of range [1, %d]", req.Vertices, s.cfg.MaxStreamVertices))
+		return
+	}
+	if len(req.Hubs) > s.cfg.MaxStreamHubs {
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("%d hubs exceeds the limit of %d", len(req.Hubs), s.cfg.MaxStreamHubs))
+		return
+	}
+	// NewStreaming validates range and uniqueness of the hub set —
+	// the satellite-2 fix; before it, a stray hub ID was a panic that
+	// took the whole process down.
+	sc, err := core.NewStreaming(req.Vertices, req.Hubs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_hubs", err.Error())
+		return
+	}
+	sc.CountNonHub = req.CountNonHub
+	ss, err := s.streams.create(sc)
+	if err != nil {
+		writeErr(w, http.StatusTooManyRequests, "stream_limit", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, streamState(ss))
+}
+
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no_such_stream", "no such stream session")
+		return
+	}
+	// Counter reads are atomic; no session lock, so polling never
+	// stalls behind a large ingest batch.
+	writeJSON(w, http.StatusOK, streamState(ss))
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.streams.delete(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, "no_such_stream", "no such stream session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// StreamIngestRequest applies a batch of edge insertions then
+// removals to a session.
+type StreamIngestRequest struct {
+	Add    [][2]uint32 `json:"add,omitempty"`
+	Remove [][2]uint32 `json:"remove,omitempty"`
+}
+
+func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no_such_stream", "no such stream session")
+		return
+	}
+	var req StreamIngestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if n := len(req.Add) + len(req.Remove); n > s.cfg.MaxStreamBatch {
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch of %d edges exceeds the limit of %d", n, s.cfg.MaxStreamBatch))
+		return
+	}
+	// One writer at a time; out-of-range endpoints are ignored by
+	// AddEdge/RemoveEdge rather than refused, matching the loose
+	// semantics of an edge stream.
+	ss.mu.Lock()
+	for _, e := range req.Add {
+		ss.sc.AddEdge(e[0], e[1])
+	}
+	for _, e := range req.Remove {
+		ss.sc.RemoveEdge(e[0], e[1])
+	}
+	ss.mu.Unlock()
+	s.met.Add("stream.edges_ingested", int64(len(req.Add)+len(req.Remove)))
+	writeJSON(w, http.StatusOK, streamState(ss))
+}

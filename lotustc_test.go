@@ -202,7 +202,10 @@ func TestTopDegreeVertices(t *testing.T) {
 func TestStreamingFacade(t *testing.T) {
 	g := RMAT(8, 8, 5)
 	hubs := TopDegreeVertices(g, 8)
-	sc := NewStreamingCounter(g.NumVertices(), hubs)
+	sc, err := NewStreamingCounter(g.NumVertices(), hubs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, e := range g.Edges() {
 		sc.AddEdge(e.U, e.V)
 	}
