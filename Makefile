@@ -32,10 +32,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable comparator sweep with full metrics; BENCH_PR2.json
-# is the artifact future PRs diff for perf trajectories.
+# Machine-readable comparator sweep with full metrics; BENCH_PR5.json
+# is the artifact future PRs diff for perf trajectories (BENCH_PR2.json
+# is the earlier scale-13 snapshot). Scale 15 so the phase-1 kernel
+# ablation rows (lotus/phase1=*, lotus/intersect=*) measure real work.
 bench-report:
-	$(GO) run ./cmd/lotus-bench -report json -scale 13 -o BENCH_PR2.json
+	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR5.json
 
 # Randomized cross-validation of every algorithm and extension.
 verify:
@@ -58,6 +60,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=10s ./internal/graph
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/compress
 	$(GO) test -run=^$$ -fuzz=FuzzReadLotusGraph -fuzztime=10s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzIntersectAgreement -fuzztime=10s ./internal/intersect
 
 clean:
 	$(GO) clean ./...

@@ -287,6 +287,49 @@ func BenchmarkAblationFusedLoops(b *testing.B) {
 	})
 }
 
+// BenchmarkPhase1Kernels compares the phase-1 probe kernels on a
+// preprocessed graph: scalar per-pair bit tests, the word-parallel
+// bitmap kernel, and the per-row auto dispatch. phase1-ms/op isolates
+// the phase being ablated from the (shared) HNN/NNN time.
+func BenchmarkPhase1Kernels(b *testing.B) {
+	g := benchGraph()
+	pool := sched.NewPool(0)
+	lg := core.Preprocess(g, core.Options{Pool: pool})
+	for _, k := range []core.Phase1Kernel{core.Phase1Scalar, core.Phase1Word, core.Phase1Auto} {
+		b.Run(k.String(), func(b *testing.B) {
+			var p1 float64
+			for i := 0; i < b.N; i++ {
+				res := lg.CountWithOptions(pool, core.CountOptions{Phase1Kernel: k})
+				p1 += res.Phase1Time.Seconds()
+				benchSink += res.Total
+			}
+			b.ReportMetric(p1/float64(b.N)*1e3, "phase1-ms/op")
+		})
+	}
+}
+
+// BenchmarkIntersectDispatch compares unconditional merge join
+// against the adaptive merge/galloping dispatch in the HNN and NNN
+// phases.
+func BenchmarkIntersectDispatch(b *testing.B) {
+	g := benchGraph()
+	pool := sched.NewPool(0)
+	lg := core.Preprocess(g, core.Options{Pool: pool})
+	for _, k := range []core.IntersectKernel{core.IntersectMerge, core.IntersectAdaptive} {
+		b.Run(k.String(), func(b *testing.B) {
+			var hnn, nnn float64
+			for i := 0; i < b.N; i++ {
+				res := lg.CountWithOptions(pool, core.CountOptions{Intersect: k})
+				hnn += res.HNNTime.Seconds()
+				nnn += res.NNNTime.Seconds()
+				benchSink += res.Total
+			}
+			b.ReportMetric(hnn/float64(b.N)*1e3, "hnn-ms/op")
+			b.ReportMetric(nnn/float64(b.N)*1e3, "nnn-ms/op")
+		})
+	}
+}
+
 // BenchmarkAblationPreprocess compares the two Algorithm 2
 // implementations (materialize+split vs literal per-edge).
 func BenchmarkAblationPreprocess(b *testing.B) {

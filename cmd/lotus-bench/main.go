@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"lotustc/internal/core"
 	"lotustc/internal/harness"
 	"lotustc/internal/obs"
 )
@@ -42,8 +43,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report     = fs.String("report", "text", "output format: text | json (comparator sweep, schema in DESIGN.md)")
 		out        = fs.String("o", "", "with -report json: write the report to this file instead of stdout")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		phase1     = fs.String("phase1", "", "LOTUS phase-1 kernel for lotus runs: auto | scalar | word (default auto)")
+		isect      = fs.String("intersect", "", "LOTUS HNN/NNN intersection kernel: adaptive | merge (default adaptive)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := core.ParsePhase1Kernel(*phase1); err != nil {
+		fmt.Fprintf(stderr, "lotus-bench: %v\n", err)
+		return 2
+	}
+	if _, err := core.ParseIntersectKernel(*isect); err != nil {
+		fmt.Fprintf(stderr, "lotus-bench: %v\n", err)
 		return 2
 	}
 	if *report != "text" && *report != "json" {
@@ -71,7 +82,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	suite := harness.Suite{Scale: *scale, EdgeFactor: *edgeFactor, Ctx: ctx}
+	suite := harness.Suite{
+		Scale: *scale, EdgeFactor: *edgeFactor, Ctx: ctx,
+		Phase1Kernel: *phase1, IntersectKernel: *isect,
+	}
 	if *report == "json" {
 		br := harness.BuildBenchReport(suite, *workers)
 		w := stdout

@@ -47,8 +47,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "abort the preprocessing after this long (0 = no limit)")
 		report    = fs.String("report", "text", "output format: text | json (machine-event report, schema in DESIGN.md)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		phase1    = fs.String("phase1", "scalar", "phase-1 kernel to replay for LOTUS: scalar | word")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *phase1 != "scalar" && *phase1 != "word" {
+		fmt.Fprintf(stderr, "lotus-perf: unknown -phase1 kernel %q (want scalar or word; the runtime's auto mode mixes the two per row)\n", *phase1)
 		return 2
 	}
 	if *report != "text" && *report != "json" {
@@ -141,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fwd := perf.InstrumentedForward(g, cfg)
-	lot := perf.InstrumentedLotus(lg, cfg)
+	lot := perf.InstrumentedLotusKernel(lg, cfg, *phase1 == "word")
 	if fwd.Triangles != lot.Triangles {
 		fmt.Fprintf(stderr, "lotus-perf: count mismatch %d vs %d\n", fwd.Triangles, lot.Triangles)
 		return 1

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"math/bits"
+
 	"lotustc/internal/graph"
 	"lotustc/internal/intersect"
 	"lotustc/internal/sched"
@@ -228,7 +230,7 @@ func AYZ(g *graph.Graph, pool *sched.Pool, delta int) uint64 {
 						if w == j>>6 {
 							x &= ^uint64(0) << ((uint(j) & 63) + 1)
 						}
-						local += uint64(popcount64(x))
+						local += uint64(bits.OnesCount64(x))
 					}
 				}
 			}
@@ -274,7 +276,7 @@ func MatrixTC(g *graph.Graph, pool *sched.Pool) uint64 {
 				}
 				ru := rows[int(u)*words : (int(u)+1)*words]
 				for w := 0; w < words; w++ {
-					local += uint64(popcount64(rv[w] & ru[w]))
+					local += uint64(bits.OnesCount64(rv[w] & ru[w]))
 				}
 			}
 		}
@@ -283,13 +285,4 @@ func MatrixTC(g *graph.Graph, pool *sched.Pool) uint64 {
 	// Each triangle is seen at 3 edges, each contributing its third
 	// vertex once.
 	return acc.Sum() / 3
-}
-
-func popcount64(x uint64) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
 }

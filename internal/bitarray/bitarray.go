@@ -7,7 +7,10 @@
 // h1*(h1-1)/2 base while scanning h2.
 package bitarray
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Tri is a triangular bit array over n hub IDs. It supports lock-free
 // concurrent Set during parallel preprocessing and wait-free IsSet
@@ -99,13 +102,14 @@ func (t *Tri) IsSet(h1, h2 uint32) bool {
 // h1's bit row, letting the inner loop of Alg 3 probe consecutive h2
 // bits without recomputing the triangular base.
 func (t *Tri) Row(h1 uint32) RowProbe {
-	return RowProbe{t: t, base: uint64(h1) * uint64(h1-1) / 2}
+	return RowProbe{t: t, base: uint64(h1) * uint64(h1-1) / 2, h1: h1}
 }
 
 // RowProbe is a cursor over one h1 row of the triangular array.
 type RowProbe struct {
 	t    *Tri
 	base uint64
+	h1   uint32
 }
 
 // IsSet probes bit h2 of the row (h2 must be < h1).
@@ -114,20 +118,89 @@ func (r RowProbe) IsSet(h2 uint32) bool {
 	return r.t.words[i>>6]&(uint64(1)<<(i&63)) != 0
 }
 
+// NumWords returns the number of 64-bit words returned by Word: the
+// row's h1 bits (h2 in [0, h1)) rounded up to whole words.
+func (r RowProbe) NumWords() uint32 { return (r.h1 + 63) / 64 }
+
+// Word returns the 64 row bits covering h2 in [64*w, 64*w+64),
+// aligned to the h2 index space. The triangular array packs rows
+// back-to-back with no word alignment, so the result is assembled
+// from up to two backing words; bits at h2 >= h1 — which belong to
+// neighbouring rows in the packed array — read as zero, giving the
+// caller the "h2 < h1" mask of Alg 3 line 5 for free. This is the
+// word-parallel counterpart of IsSet: one Word carries 64 probes.
+func (r RowProbe) Word(w uint32) uint64 {
+	rem := int64(r.h1) - int64(w)*64
+	if rem <= 0 {
+		return 0
+	}
+	start := r.base + uint64(w)*64
+	i := int(start >> 6)
+	sh := start & 63
+	words := r.t.words
+	x := words[i] >> sh
+	// The guard covers the final partial word of the last row, whose
+	// valid bits never spill into a (nonexistent) next backing word.
+	if sh != 0 && i+1 < len(words) {
+		x |= words[i+1] << (64 - sh)
+	}
+	if rem < 64 {
+		x &= uint64(1)<<uint64(rem) - 1
+	}
+	return x
+}
+
+// AndCount returns the popcount of the row ANDed word-wise against
+// bm, i.e. |{h2 < h1 : row bit h2 set and bm bit h2 set}| — the whole
+// phase-1 inner loop for one h1 in NumWords() word operations. It is
+// Word(w)&bm[w] summed, but streams the unaligned row through a
+// single rolling shift register instead of re-assembling each word
+// from scratch, which is what makes the word kernel's inner loop a
+// handful of ALU ops per 64 probes. bm must have at least NumWords()
+// words.
+func (r RowProbe) AndCount(bm []uint64) uint64 {
+	nw := int(r.h1+63) / 64
+	if nw == 0 {
+		return 0
+	}
+	bm = bm[:nw]
+	words := r.t.words
+	i := int(r.base >> 6)
+	sh := r.base & 63
+	var total int
+	if sh == 0 {
+		for w, m := range bm {
+			x := words[i+w]
+			if rem := r.h1 - uint32(w)*64; rem < 64 {
+				x &= uint64(1)<<rem - 1
+			}
+			total += bits.OnesCount64(x & m)
+		}
+		return uint64(total)
+	}
+	cur := words[i]
+	for w, m := range bm {
+		x := cur >> sh
+		i++
+		// The final partial word of the packed array has no successor
+		// to borrow high bits from; its valid bits are all in cur.
+		if i < len(words) {
+			cur = words[i]
+			x |= cur << (64 - sh)
+		}
+		if rem := r.h1 - uint32(w)*64; rem < 64 {
+			x &= uint64(1)<<rem - 1
+		}
+		total += bits.OnesCount64(x & m)
+	}
+	return uint64(total)
+}
+
 // PopCount returns the number of set bits (hub-to-hub edges).
 func (t *Tri) PopCount() uint64 {
 	var n uint64
 	for _, w := range t.words {
-		n += uint64(popcount(w))
-	}
-	return n
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+		n += uint64(bits.OnesCount64(w))
 	}
 	return n
 }

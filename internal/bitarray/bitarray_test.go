@@ -1,6 +1,7 @@
 package bitarray
 
 import (
+	"math/bits"
 	"math/rand"
 	"sync"
 	"testing"
@@ -215,6 +216,107 @@ func BenchmarkTriIsSet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := pairs[i&4095]
 		sink = tr.IsSet(p[0], p[1])
+	}
+	_ = sink
+}
+
+// TestRowWordMatchesIsSet cross-checks the word-parallel row view
+// against single-bit probes on randomly populated arrays of sizes
+// straddling every word-alignment edge case (rows shorter than a
+// word, rows crossing backing-word boundaries, the final partial
+// word of the last row).
+func TestRowWordMatchesIsSet(t *testing.T) {
+	for _, n := range []uint32{0, 1, 2, 3, 5, 63, 64, 65, 127, 128, 129, 200, 513} {
+		tr := NewTri(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for e := 0; e < int(n)*4; e++ {
+			tr.Set(uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n))))
+		}
+		for h1 := uint32(0); h1 < n; h1++ {
+			row := tr.Row(h1)
+			if got, want := row.NumWords(), (h1+63)/64; got != want {
+				t.Fatalf("n=%d h1=%d: NumWords = %d, want %d", n, h1, got, want)
+			}
+			for w := uint32(0); w < row.NumWords(); w++ {
+				word := row.Word(w)
+				for b := uint32(0); b < 64; b++ {
+					h2 := w*64 + b
+					want := h2 < h1 && row.IsSet(h2)
+					if got := word&(1<<b) != 0; got != want {
+						t.Fatalf("n=%d h1=%d h2=%d: Word bit = %v, IsSet = %v", n, h1, h2, got, want)
+					}
+				}
+			}
+			// Words past the row must read zero.
+			if got := row.Word(row.NumWords()); got != 0 {
+				t.Fatalf("n=%d h1=%d: Word past end = %#x, want 0", n, h1, got)
+			}
+		}
+	}
+}
+
+func BenchmarkTriRowWord(b *testing.B) {
+	tr := NewTri(1 << 12)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		tr.Set(uint32(rng.Intn(1<<12)), uint32(rng.Intn(1<<12)))
+	}
+	row := tr.Row(1<<12 - 1)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += row.Word(uint32(i) & 63)
+	}
+	_ = sink
+}
+
+// TestAndCountMatchesWordLoop checks the streaming AndCount against
+// the per-word Word()&bm reference on random contents and bitmaps,
+// across sizes that exercise every alignment of the packed rows.
+func TestAndCountMatchesWordLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []uint32{1, 2, 3, 5, 63, 64, 65, 127, 128, 129, 200, 513} {
+		tri := NewTri(n)
+		for k := 0; k < int(n)*2; k++ {
+			h1 := uint32(rng.Intn(int(n)))
+			if h1 == 0 {
+				continue
+			}
+			tri.Set(h1, uint32(rng.Intn(int(h1))))
+		}
+		bm := make([]uint64, (n+63)/64)
+		for i := range bm {
+			bm[i] = rng.Uint64()
+		}
+		for h1 := uint32(0); h1 < n; h1++ {
+			row := tri.Row(h1)
+			var want uint64
+			for w := uint32(0); w < row.NumWords(); w++ {
+				want += uint64(bits.OnesCount64(row.Word(w) & bm[w]))
+			}
+			if got := row.AndCount(bm); got != want {
+				t.Fatalf("n=%d h1=%d: AndCount=%d, Word-loop=%d", n, h1, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkTriAndCount(b *testing.B) {
+	const n = 512
+	tri := NewTri(n)
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 4096; k++ {
+		h1 := uint32(1 + rng.Intn(n-1))
+		tri.Set(h1, uint32(rng.Intn(int(h1))))
+	}
+	bm := make([]uint64, n/64)
+	for i := range bm {
+		bm[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += tri.Row(uint32(1 + i%(n-1))).AndCount(bm)
 	}
 	_ = sink
 }

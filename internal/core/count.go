@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"lotustc/internal/intersect"
@@ -67,6 +66,15 @@ type CountOptions struct {
 	// recursive LOTUS split of the non-hub sub-graph; the approx
 	// package replaces it with sampling (§6.2).
 	SkipNNN bool
+	// Phase1Kernel selects the H2H probe strategy for phase 1:
+	// per-row auto dispatch (default), always-scalar bit probes, or
+	// always the word-parallel bitmap kernel. All three produce
+	// bit-identical HHH/HHN counts.
+	Phase1Kernel Phase1Kernel
+	// Intersect selects the HNN/NNN intersection strategy: adaptive
+	// merge-vs-galloping dispatch (default) or unconditional merge
+	// join (the ablation baseline).
+	Intersect IntersectKernel
 	// Metrics, when non-nil, receives the per-phase observability
 	// counters (phase timings, tile/probe/intersection counts,
 	// scheduler claims and steals, cancellation polls — names in
@@ -131,12 +139,12 @@ func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Resu
 	switch {
 	case opt.SkipNNN:
 		t1 := time.Now()
-		res.HNNLoad = lg.countHNN(pool, res, m)
+		res.HNNLoad = lg.countHNN(pool, res, opt)
 		res.HNNTime = time.Since(t1)
 		m.Add("hnn.claims", res.HNNLoad.Claims)
 	case opt.FuseHNNAndNNN:
 		t1 := time.Now()
-		res.HNNLoad = lg.countFused(pool, res, m)
+		res.HNNLoad = lg.countFused(pool, res, opt)
 		d := time.Since(t1)
 		res.HNNTime, res.NNNTime = d/2, d/2
 		res.NNNLoad = res.HNNLoad
@@ -145,9 +153,9 @@ func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Resu
 	default:
 		t1 := time.Now()
 		if opt.HNNBlocks > 1 {
-			res.HNNLoad = lg.countHNNBlocked(pool, res, opt.HNNBlocks, m)
+			res.HNNLoad = lg.countHNNBlocked(pool, res, opt)
 		} else {
-			res.HNNLoad = lg.countHNN(pool, res, m)
+			res.HNNLoad = lg.countHNN(pool, res, opt)
 		}
 		res.HNNTime = time.Since(t1)
 		m.Add("hnn.claims", res.HNNLoad.Claims)
@@ -156,7 +164,7 @@ func (lg *LotusGraph) CountWithOptions(pool *sched.Pool, opt CountOptions) *Resu
 		}
 
 		t2 := time.Now()
-		res.NNNLoad = lg.countNNN(pool, res, m)
+		res.NNNLoad = lg.countNNN(pool, res, opt)
 		res.NNNTime = time.Since(t2)
 		m.Add("nnn.claims", res.NNNLoad.Claims)
 	}
@@ -272,40 +280,90 @@ func (lg *LotusGraph) Phase1TileWork(opt CountOptions, workers int) []uint64 {
 	return work
 }
 
+// phase1Stats carries one tile's worker-local observability counts.
+type phase1Stats struct {
+	pairs, rows, wordOps, wordRows, scalarRows uint64
+}
+
 // countPhase1 counts HHH and HHN triangles (Alg 3 lines 2-6): for
 // every vertex, every pair (h1, h2) of its hub neighbours is probed
 // in the H2H bit array. Random accesses touch only H2H (§4.5).
+//
+// Two kernels implement the probe. The scalar kernel tests each
+// (h1, h2) pair as one IsSet bit probe — O(d²) dependent loads per
+// vertex. The word kernel populates a per-worker bitmap with the
+// vertex's hub neighbours once, then intersects each h1 row (read
+// word-wise, masked to h2 < h1) against it with AND+popcount —
+// O(d·h1/64) word ops. Both are bit-identical: HE rows are strictly
+// ascending, so {nv[j] : j < i} is exactly {h ∈ nv : h < nv[i]}, the
+// set the row mask keeps. Phase1Auto chooses per row.
 func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Result) sched.LoadReport {
 	tiles := lg.phase1Tiles(opt, pool.Workers())
 	hhh := sched.NewAccumulator(pool.Workers())
 	hhn := sched.NewAccumulator(pool.Workers())
 	// Observability counters, accumulated worker-locally like the
-	// triangle counts: H2H probes (pair tests) and cancellation polls.
+	// triangle counts: H2H probes (pair tests), cancellation polls,
+	// and the word-kernel op/row-routing counts.
 	probes := sched.NewAccumulator(pool.Workers())
 	polls := sched.NewAccumulator(pool.Workers())
+	wordOps := sched.NewAccumulator(pool.Workers())
+	wordRows := sched.NewAccumulator(pool.Workers())
+	scalarRows := sched.NewAccumulator(pool.Workers())
 
-	processPairs := func(v uint32, lo, hi uint32) (found, pairs, rows uint64) {
+	bmWords := (int(lg.HubCount) + 63) / 64
+	scratch := sched.NewWorkerLocal(pool.Workers(), func() *phase1Scratch {
+		return &phase1Scratch{bm: make([]uint64, bmWords)}
+	})
+	kernel := opt.Phase1Kernel
+
+	processPairs := func(s *phase1Scratch, v uint32, lo, hi uint32) (found uint64, st phase1Stats) {
 		nv := lg.HE.Neighbors(v)
+		// The bitmap is populated lazily, on the first row routed to
+		// the word kernel, and holds ALL of nv: rows masked to
+		// h2 < h1 then see exactly the prefix nv[:i].
+		populated := false
+		bm := s.bm
 		for i := int(lo); i < int(hi); i++ {
 			// Pair tiles of extreme-degree vertices are the largest
 			// indivisible units of phase 1, so cancellation is polled
 			// per h1 row to keep the response bounded by one row scan.
-			rows++
+			st.rows++
 			if pool.Cancelled() {
-				return found, pairs, rows
+				break
 			}
 			h1 := uint32(nv[i])
 			// The h1(h1-1)/2 base is computed once per h1 and the
 			// row is scanned for consecutive h2 (§4.4.1).
 			row := lg.H2H.Row(h1)
-			for j := 0; j < i; j++ {
-				if row.IsSet(uint32(nv[j])) {
-					found++
+			if kernel == Phase1Word || (kernel == Phase1Auto && wordRowThreshold(i, h1)) {
+				if !populated {
+					for _, h := range nv {
+						bm[h>>6] |= 1 << (h & 63)
+					}
+					populated = true
 				}
+				found += row.AndCount(bm)
+				st.wordOps += uint64(row.NumWords())
+				st.wordRows++
+			} else {
+				for j := 0; j < i; j++ {
+					if row.IsSet(uint32(nv[j])) {
+						found++
+					}
+				}
+				st.scalarRows++
 			}
-			pairs += uint64(i)
+			st.pairs += uint64(i)
 		}
-		return found, pairs, rows
+		// Clear on every exit, including the cancellation break: the
+		// worker's next vertex reuses the bitmap. Only words holding
+		// nv bits were touched, so re-walking nv clears everything.
+		if populated {
+			for _, h := range nv {
+				bm[h>>6] = 0
+			}
+		}
+		return found, st
 	}
 
 	runTasks := pool.RunTasks
@@ -314,7 +372,9 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 	}
 	report := runTasks(len(tiles), func(worker, ti int) {
 		t := tiles[ti]
-		var localHHH, localHHN, localProbes, localPolls uint64
+		s := scratch.Get(worker)
+		var localHHH, localHHN, localPolls uint64
+		var localStats phase1Stats
 		if t.vEnd > 0 { // vertex-range tile
 			for v := t.vStart; v < t.vEnd; v++ {
 				localPolls++
@@ -325,9 +385,12 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 				if d < 2 {
 					continue
 				}
-				found, pairs, rows := processPairs(v, 1, uint32(d))
-				localProbes += pairs
-				localPolls += rows
+				found, st := processPairs(s, v, 1, uint32(d))
+				localStats.pairs += st.pairs
+				localStats.wordOps += st.wordOps
+				localStats.wordRows += st.wordRows
+				localStats.scalarRows += st.scalarRows
+				localPolls += st.rows
 				if v < lg.HubCount {
 					localHHH += found
 				} else {
@@ -339,9 +402,9 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 			if lo < 1 {
 				lo = 1
 			}
-			found, pairs, rows := processPairs(t.vStart, lo, t.hi)
-			localProbes += pairs
-			localPolls += rows
+			found, st := processPairs(s, t.vStart, lo, t.hi)
+			localStats = st
+			localPolls += st.rows
 			if t.vStart < lg.HubCount {
 				localHHH += found
 			} else {
@@ -350,28 +413,40 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 		}
 		hhh.Add(worker, localHHH)
 		hhn.Add(worker, localHHN)
-		probes.Add(worker, localProbes)
+		probes.Add(worker, localStats.pairs)
 		polls.Add(worker, localPolls)
+		wordOps.Add(worker, localStats.wordOps)
+		wordRows.Add(worker, localStats.wordRows)
+		scalarRows.Add(worker, localStats.scalarRows)
 	})
 	res.HHH = hhh.Sum()
 	res.HHN = hhn.Sum()
 	opt.Metrics.Add("phase1.tiles", int64(len(tiles)))
 	opt.Metrics.Add("phase1.h2h_probes", int64(probes.Sum()))
 	opt.Metrics.Add("phase1.polls", int64(polls.Sum()))
+	opt.Metrics.Add(obs.Phase1WordOps, int64(wordOps.Sum()))
+	opt.Metrics.Add(obs.Phase1RowsWord, int64(wordRows.Sum()))
+	opt.Metrics.Add(obs.Phase1RowsScalar, int64(scalarRows.Sum()))
 	return report
 }
 
 // countHNN counts HNN triangles (Alg 3 lines 7-9): for every non-hub
 // v and non-hub neighbour u, the common hub neighbours |HE.N_v ∩
 // HE.N_u| each close a triangle. Random accesses touch only HE rows,
-// 2 bytes per edge (§4.5, Table 2).
-func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result, m *obs.Metrics) sched.LoadReport {
+// 2 bytes per edge (§4.5, Table 2). With IntersectAdaptive (the
+// default) each row pair is dispatched to merge join or galloping
+// search by size ratio; the dispatch split is counted per branch so
+// the obs report shows what the heuristic chose.
+func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result, opt CountOptions) sched.LoadReport {
+	m := opt.Metrics
+	adaptive := opt.Intersect == IntersectAdaptive
 	n := lg.numVertices
 	acc := sched.NewAccumulator(pool.Workers())
 	inter := sched.NewAccumulator(pool.Workers())
 	polls := sched.NewAccumulator(pool.Workers())
+	gallops := sched.NewAccumulator(pool.Workers())
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
-		var local, localInter, localPolls uint64
+		var local, localInter, localPolls, localGallops uint64
 		for v := start; v < end; v++ {
 			localPolls++
 			if pool.Cancelled() {
@@ -384,16 +459,25 @@ func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result, m *obs.Metrics) sc
 			nhe := lg.NHE.Neighbors(uint32(v))
 			localInter += uint64(len(nhe))
 			for _, u := range nhe {
-				local += intersect.Merge16(hv, lg.HE.Neighbors(u))
+				hu := lg.HE.Neighbors(u)
+				if adaptive && intersect.UseGalloping(len(hv), len(hu)) {
+					local += intersect.Galloping16(hv, hu)
+					localGallops++
+				} else {
+					local += intersect.Merge16(hv, hu)
+				}
 			}
 		}
 		acc.Add(worker, local)
 		inter.Add(worker, localInter)
 		polls.Add(worker, localPolls)
+		gallops.Add(worker, localGallops)
 	})
 	res.HNN = acc.Sum()
 	m.Add("hnn.he_intersections", int64(inter.Sum()))
 	m.Add("hnn.polls", int64(polls.Sum()))
+	m.Add(obs.HNNDispatchGallop, int64(gallops.Sum()))
+	m.Add(obs.HNNDispatchMerge, int64(inter.Sum()-gallops.Sum()))
 	return rep
 }
 
@@ -403,7 +487,10 @@ func (lg *LotusGraph) countHNN(pool *sched.Pool, res *Result, m *obs.Metrics) sc
 // neighbours u inside the range, confining the random HE.N_u loads
 // of a pass to that range's rows. NHE neighbour lists are sorted, so
 // each pass visits a contiguous sub-list located by binary search.
-func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int, m *obs.Metrics) sched.LoadReport {
+func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, opt CountOptions) sched.LoadReport {
+	m := opt.Metrics
+	blocks := opt.HNNBlocks
+	adaptive := opt.Intersect == IntersectAdaptive
 	n := lg.numVertices
 	hub := int(lg.HubCount)
 	nonHubs := n - hub
@@ -414,12 +501,13 @@ func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int,
 	acc := sched.NewAccumulator(pool.Workers())
 	inter := sched.NewAccumulator(pool.Workers())
 	polls := sched.NewAccumulator(pool.Workers())
+	gallops := sched.NewAccumulator(pool.Workers())
 	var total sched.LoadReport
 	for b := 0; b < blocks && !pool.Cancelled(); b++ {
 		lo := uint32(hub + b*nonHubs/blocks)
 		hi := uint32(hub + (b+1)*nonHubs/blocks)
 		rep := pool.ForTimed(n, 0, func(worker, start, end int) {
-			var local, localInter, localPolls uint64
+			var local, localInter, localPolls, localGallops uint64
 			for v := start; v < end; v++ {
 				localPolls++
 				if pool.Cancelled() {
@@ -430,17 +518,26 @@ func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int,
 					continue
 				}
 				nhe := lg.NHE.Neighbors(uint32(v))
-				// Sub-list of neighbours inside [lo, hi).
-				a := sort.Search(len(nhe), func(i int) bool { return nhe[i] >= lo })
-				bnd := sort.Search(len(nhe), func(i int) bool { return nhe[i] >= hi })
+				// Sub-list of neighbours inside [lo, hi), located with
+				// the branch-free search (a closure-based sort.Search
+				// here costs two indirect calls per vertex per block).
+				a := intersect.LowerBound(nhe, lo)
+				bnd := a + intersect.LowerBound(nhe[a:], hi)
 				localInter += uint64(bnd - a)
 				for _, u := range nhe[a:bnd] {
-					local += intersect.Merge16(hv, lg.HE.Neighbors(u))
+					hu := lg.HE.Neighbors(u)
+					if adaptive && intersect.UseGalloping(len(hv), len(hu)) {
+						local += intersect.Galloping16(hv, hu)
+						localGallops++
+					} else {
+						local += intersect.Merge16(hv, hu)
+					}
 				}
 			}
 			acc.Add(worker, local)
 			inter.Add(worker, localInter)
 			polls.Add(worker, localPolls)
+			gallops.Add(worker, localGallops)
 		})
 		total.Wall += rep.Wall
 		total.Claims += rep.Claims
@@ -457,19 +554,24 @@ func (lg *LotusGraph) countHNNBlocked(pool *sched.Pool, res *Result, blocks int,
 	m.Add("hnn.he_intersections", int64(inter.Sum()))
 	m.Add("hnn.polls", int64(polls.Sum()))
 	m.Add("hnn.blocks", int64(blocks))
+	m.Add(obs.HNNDispatchGallop, int64(gallops.Sum()))
+	m.Add(obs.HNNDispatchMerge, int64(inter.Sum()-gallops.Sum()))
 	return total
 }
 
 // countNNN counts NNN triangles (Alg 3 lines 10-12): the Forward
 // algorithm restricted to the NHE sub-graph, with merge join
 // (§4.4.3). Hub edges are never touched — the §3.3 pruning.
-func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result, m *obs.Metrics) sched.LoadReport {
+func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result, opt CountOptions) sched.LoadReport {
+	m := opt.Metrics
+	adaptive := opt.Intersect == IntersectAdaptive
 	n := lg.numVertices
 	acc := sched.NewAccumulator(pool.Workers())
 	inter := sched.NewAccumulator(pool.Workers())
 	polls := sched.NewAccumulator(pool.Workers())
+	gallops := sched.NewAccumulator(pool.Workers())
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
-		var local, localInter, localPolls uint64
+		var local, localInter, localPolls, localGallops uint64
 		for v := start; v < end; v++ {
 			localPolls++
 			if pool.Cancelled() {
@@ -481,30 +583,45 @@ func (lg *LotusGraph) countNNN(pool *sched.Pool, res *Result, m *obs.Metrics) sc
 			}
 			localInter += uint64(len(nv))
 			for _, u := range nv {
-				local += intersect.Merge(nv, lg.NHE.Neighbors(u))
+				nu := lg.NHE.Neighbors(u)
+				if adaptive && intersect.UseGalloping(len(nv), len(nu)) {
+					local += intersect.Galloping(nv, nu)
+					localGallops++
+				} else {
+					local += intersect.Merge(nv, nu)
+				}
 			}
 		}
 		acc.Add(worker, local)
 		inter.Add(worker, localInter)
 		polls.Add(worker, localPolls)
+		gallops.Add(worker, localGallops)
 	})
 	res.NNN = acc.Sum()
 	m.Add("nnn.nhe_intersections", int64(inter.Sum()))
 	m.Add("nnn.polls", int64(polls.Sum()))
+	m.Add(obs.NNNDispatchGallop, int64(gallops.Sum()))
+	m.Add(obs.NNNDispatchMerge, int64(inter.Sum()-gallops.Sum()))
 	return rep
 }
 
 // countFused runs the HNN and NNN intersections inside one traversal
 // of NHE — the loop fusion §4.5 rejects because it enlarges the
 // working set of randomly accessed data. Kept for the ablation bench.
-func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result, m *obs.Metrics) sched.LoadReport {
+func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result, opt CountOptions) sched.LoadReport {
+	m := opt.Metrics
+	adaptive := opt.Intersect == IntersectAdaptive
 	n := lg.numVertices
 	hnn := sched.NewAccumulator(pool.Workers())
 	nnn := sched.NewAccumulator(pool.Workers())
 	inter := sched.NewAccumulator(pool.Workers())
 	polls := sched.NewAccumulator(pool.Workers())
+	hnnGallops := sched.NewAccumulator(pool.Workers())
+	nnnGallops := sched.NewAccumulator(pool.Workers())
+	hnnInter := sched.NewAccumulator(pool.Workers())
 	rep := pool.ForTimed(n, 0, func(worker, start, end int) {
 		var localHNN, localNNN, localInter, localPolls uint64
+		var localHNNGallops, localNNNGallops, localHNNInter uint64
 		for v := start; v < end; v++ {
 			localPolls++
 			if pool.Cancelled() {
@@ -515,20 +632,40 @@ func (lg *LotusGraph) countFused(pool *sched.Pool, res *Result, m *obs.Metrics) 
 			localInter += uint64(len(nv))
 			for _, u := range nv {
 				if len(hv) > 0 {
-					localHNN += intersect.Merge16(hv, lg.HE.Neighbors(u))
+					hu := lg.HE.Neighbors(u)
+					localHNNInter++
+					if adaptive && intersect.UseGalloping(len(hv), len(hu)) {
+						localHNN += intersect.Galloping16(hv, hu)
+						localHNNGallops++
+					} else {
+						localHNN += intersect.Merge16(hv, hu)
+					}
 				}
-				localNNN += intersect.Merge(nv, lg.NHE.Neighbors(u))
+				nu := lg.NHE.Neighbors(u)
+				if adaptive && intersect.UseGalloping(len(nv), len(nu)) {
+					localNNN += intersect.Galloping(nv, nu)
+					localNNNGallops++
+				} else {
+					localNNN += intersect.Merge(nv, nu)
+				}
 			}
 		}
 		hnn.Add(worker, localHNN)
 		nnn.Add(worker, localNNN)
 		inter.Add(worker, localInter)
 		polls.Add(worker, localPolls)
+		hnnGallops.Add(worker, localHNNGallops)
+		nnnGallops.Add(worker, localNNNGallops)
+		hnnInter.Add(worker, localHNNInter)
 	})
 	res.HNN = hnn.Sum()
 	res.NNN = nnn.Sum()
 	m.Add("hnn.he_intersections", int64(inter.Sum()))
 	m.Add("nnn.nhe_intersections", int64(inter.Sum()))
 	m.Add("hnn.polls", int64(polls.Sum()))
+	m.Add(obs.HNNDispatchGallop, int64(hnnGallops.Sum()))
+	m.Add(obs.HNNDispatchMerge, int64(hnnInter.Sum()-hnnGallops.Sum()))
+	m.Add(obs.NNNDispatchGallop, int64(nnnGallops.Sum()))
+	m.Add(obs.NNNDispatchMerge, int64(inter.Sum()-nnnGallops.Sum()))
 	return rep
 }

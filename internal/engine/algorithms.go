@@ -85,6 +85,13 @@ func lotusKernel(t *Task) (uint64, error) {
 	if t.Params.EdgeBalancedTiling {
 		copt.Partitioner = core.EdgeBalanced
 	}
+	var err error
+	if copt.Phase1Kernel, err = core.ParsePhase1Kernel(t.Params.Phase1Kernel); err != nil {
+		return 0, fmt.Errorf("engine: %w", err)
+	}
+	if copt.Intersect, err = core.ParseIntersectKernel(t.Params.IntersectKernel); err != nil {
+		return 0, fmt.Errorf("engine: %w", err)
+	}
 	cr := lg.CountWithOptions(t.Pool, copt)
 	t.Report.AddPhase(PhaseHub, cr.Phase1Time)
 	t.Report.AddPhase(PhaseHNN, cr.HNNTime)

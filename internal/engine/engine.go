@@ -72,6 +72,13 @@ type Params struct {
 	HNNBlocks int
 	// WorkStealing schedules phase-1 tiles on work-stealing deques.
 	WorkStealing bool
+	// Phase1Kernel selects the H2H probe kernel for phase 1: "" or
+	// "auto" (per-row dispatch), "scalar", or "word". Unknown values
+	// fail the run up front rather than silently falling back.
+	Phase1Kernel string
+	// IntersectKernel selects the HNN/NNN intersection strategy: ""
+	// or "adaptive" (size-ratio dispatch), or "merge".
+	IntersectKernel string
 	// Prepared supplies an already-built LOTUS structure for the same
 	// graph, letting a resident service amortize preprocessing across
 	// queries: the "lotus" kernel skips Algorithm 2 and records a

@@ -9,6 +9,7 @@ import (
 	"lotustc/internal/baseline"
 	"lotustc/internal/core"
 	"lotustc/internal/kclique"
+	"lotustc/internal/obs"
 	"lotustc/internal/reorder"
 )
 
@@ -374,4 +375,50 @@ func RunAblationRecursive(w io.Writer, s Suite, workers int) {
 		}
 		fmt.Fprintf(w, "%-12s %12.3f %12.3f %8d %12d\n", d.Name, flatS, recS, rec.Depth, rec.Total)
 	}
+}
+
+// RunAblationPhase1 compares the phase-1 kernels (scalar bit probes
+// vs the word-parallel bitmap kernel, plus the per-row auto dispatch)
+// on the suite's datasets. Counts must be bit-identical across
+// kernels; the table reports phase-1 wall time and what the auto
+// heuristic routed.
+func RunAblationPhase1(w io.Writer, s Suite, workers int) {
+	pool := s.NewPool(workers)
+	fmt.Fprintln(w, "=== Ablation: phase-1 kernel, scalar probes vs word-parallel bitmap ===")
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %9s %11s %11s\n",
+		"dataset", "scalar(s)", "word(s)", "auto(s)", "speedup", "auto-word", "auto-scalar")
+	for _, d := range s.Datasets() {
+		if s.Context().Err() != nil {
+			return
+		}
+		g := d.Build()
+		lg := core.Preprocess(g, core.Options{Pool: pool})
+		var times [3]float64
+		var results [3]*core.Result
+		var autoMetrics *obs.Metrics
+		for i, k := range []core.Phase1Kernel{core.Phase1Scalar, core.Phase1Word, core.Phase1Auto} {
+			m := obs.New()
+			r := lg.CountWithOptions(pool, core.CountOptions{Phase1Kernel: k, Metrics: m})
+			times[i] = r.Phase1Time.Seconds()
+			results[i] = r
+			if k == core.Phase1Auto {
+				autoMetrics = m
+			}
+		}
+		for _, r := range results[1:] {
+			if r.HHH != results[0].HHH || r.HHN != results[0].HHN {
+				fmt.Fprintf(w, "%-12s COUNT MISMATCH %d/%d vs %d/%d\n",
+					d.Name, r.HHH, r.HHN, results[0].HHH, results[0].HHN)
+				return
+			}
+		}
+		speedup := 0.0
+		if times[1] > 0 {
+			speedup = times[0] / times[1]
+		}
+		fmt.Fprintf(w, "%-12s %12.4f %12.4f %12.4f %8.2fx %11d %11d\n",
+			d.Name, times[0], times[1], times[2], speedup,
+			autoMetrics.Get(obs.Phase1RowsWord), autoMetrics.Get(obs.Phase1RowsScalar))
+	}
+	fmt.Fprintln(w, "(word kernel: per-worker hub bitmap, AND+popcount over row words — 64 scalar probes per op)")
 }

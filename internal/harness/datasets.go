@@ -35,6 +35,12 @@ type Suite struct {
 	// pools built with NewPool are bound to it, and RunAll stops
 	// between experiments once it is done.
 	Ctx context.Context
+	// Phase1Kernel / IntersectKernel override the LOTUS kernel
+	// selection for the suite's lotus runs ("" keeps the engine
+	// defaults: auto and adaptive). lotus-bench wires -phase1 and
+	// -intersect here.
+	Phase1Kernel    string
+	IntersectKernel string
 }
 
 // Context returns the suite's context, defaulting to Background.

@@ -11,6 +11,21 @@ import (
 // sweeps, in display order.
 var BenchAlgorithms = []string{"bbtc", "edge-iterator", "forward", "gbbs", "lotus"}
 
+// benchKernelVariants are the labeled LOTUS kernel-ablation runs
+// appended to every dataset's sweep: phase-1 scalar vs word and
+// HNN/NNN merge vs adaptive, each pinned so the pairs differ in
+// exactly one knob. Their RunReport Algorithm field carries the
+// variant label (e.g. "lotus/phase1=word").
+var benchKernelVariants = []struct {
+	label  string
+	params engine.Params
+}{
+	{"lotus/phase1=scalar", engine.Params{Phase1Kernel: "scalar", IntersectKernel: "merge"}},
+	{"lotus/phase1=word", engine.Params{Phase1Kernel: "word", IntersectKernel: "merge"}},
+	{"lotus/intersect=merge", engine.Params{Phase1Kernel: "scalar", IntersectKernel: "merge"}},
+	{"lotus/intersect=adaptive", engine.Params{Phase1Kernel: "scalar", IntersectKernel: "adaptive"}},
+}
+
 // BuildBenchReport runs the Table 5 comparators over the suite's
 // datasets with metrics collection on and folds every run into one
 // machine-readable BenchReport (the BENCH_*.json artifact). A failed
@@ -23,24 +38,25 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 			break
 		}
 		g := d.Build()
-		for _, algo := range BenchAlgorithms {
+		oneRun := func(algo, label string, params engine.Params) {
 			rr := obs.RunReport{
 				Schema:    obs.SchemaRun,
 				Tool:      br.Tool,
 				Timestamp: br.Timestamp,
 				Env:       br.Env,
 				Graph:     obs.GraphInfo{Source: d.Name, Vertices: int64(g.NumVertices()), Edges: g.NumEdges()},
-				Algorithm: algo,
+				Algorithm: label,
 			}
 			rep, err := engine.Run(s.Context(), g, engine.Spec{
 				Algorithm:      algo,
 				Workers:        workers,
 				CollectMetrics: true,
+				Params:         params,
 			})
 			if err != nil {
 				rr.Error = err.Error()
 				br.Runs = append(br.Runs, rr)
-				continue
+				return
 			}
 			rr.Workers = int(rep.Metrics["run.workers"])
 			rr.Triangles = rep.Triangles
@@ -53,6 +69,20 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 			}
 			rr.Metrics = rep.Metrics
 			br.Runs = append(br.Runs, rr)
+		}
+		for _, algo := range BenchAlgorithms {
+			params := engine.Params{}
+			if algo == "lotus" {
+				params.Phase1Kernel = s.Phase1Kernel
+				params.IntersectKernel = s.IntersectKernel
+			}
+			oneRun(algo, algo, params)
+		}
+		for _, v := range benchKernelVariants {
+			if s.Context().Err() != nil {
+				break
+			}
+			oneRun("lotus", v.label, v.params)
 		}
 	}
 	return br

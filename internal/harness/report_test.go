@@ -53,9 +53,23 @@ func TestBuildBenchReport(t *testing.T) {
 	if br.Schema != obs.SchemaBench || br.Suite != "scale-9/ef-8" {
 		t.Fatalf("bad envelope: %+v", br)
 	}
-	wantRuns := len(s.Datasets()) * len(BenchAlgorithms)
+	wantRuns := len(s.Datasets()) * (len(BenchAlgorithms) + len(benchKernelVariants))
 	if len(br.Runs) != wantRuns {
 		t.Fatalf("got %d runs, want %d", len(br.Runs), wantRuns)
+	}
+	// The kernel-ablation variants ride along per dataset, and their
+	// triangle counts join the same agreement check below.
+	variants := 0
+	for _, r := range br.Runs {
+		if strings.HasPrefix(r.Algorithm, "lotus/") {
+			variants++
+			if r.Classes == nil {
+				t.Fatalf("%s/%s: variant run missing class split", r.Graph.Source, r.Algorithm)
+			}
+		}
+	}
+	if want := len(s.Datasets()) * len(benchKernelVariants); variants != want {
+		t.Fatalf("got %d kernel-variant runs, want %d", variants, want)
 	}
 	// Per dataset, every comparator must agree on the triangle count.
 	counts := map[string]uint64{}

@@ -6,8 +6,6 @@
 // (v,u) edge in the Forward algorithm.
 package intersect
 
-import "sort"
-
 // Merge counts |a ∩ b| with a linear merge join. This is the kernel
 // LOTUS itself uses for the HNN and NNN phases (§4.4.3): neighbour
 // lists of non-hubs are short, so the branchy but allocation-free
@@ -50,6 +48,21 @@ func Merge16(a, b []uint16) uint64 {
 	return n
 }
 
+// Merge16Branchless is MergeBranchless for 16-bit hub IDs: the same
+// arithmetic cursor advance, with both loads widened once so the hot
+// loop compares registers.
+func Merge16Branchless(a, b []uint16) uint64 {
+	var n uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		n += uint64(btoi(x == y))
+		i += btoi(x <= y)
+		j += btoi(y <= x)
+	}
+	return n
+}
+
 // MergeBranchless counts |a ∩ b| with a comparison-driven merge whose
 // cursor advances are computed arithmetically instead of via
 // conditional branches, trading a few extra ALU ops for the removal
@@ -79,6 +92,38 @@ func btoi(b bool) int {
 	return 0
 }
 
+// LowerBound returns the first index i with s[i] >= x (len(s) when no
+// such element exists). It is the inlined, branch-free binary search
+// the hot kernels use in place of sort.Search: the window halves with
+// an arithmetic cursor advance instead of a data-dependent jump, and
+// there is no closure call per probe.
+func LowerBound(s []uint32, x uint32) int {
+	base, n := 0, len(s)
+	for n > 1 {
+		half := n >> 1
+		base += btoi(s[base+half-1] < x) * half
+		n -= half
+	}
+	if n == 1 {
+		base += btoi(s[base] < x)
+	}
+	return base
+}
+
+// LowerBound16 is LowerBound for the 16-bit hub IDs of HE rows.
+func LowerBound16(s []uint16, x uint16) int {
+	base, n := 0, len(s)
+	for n > 1 {
+		half := n >> 1
+		base += btoi(s[base+half-1] < x) * half
+		n -= half
+	}
+	if n == 1 {
+		base += btoi(s[base] < x)
+	}
+	return base
+}
+
 // Binary counts |a ∩ b| by binary-searching each element of the
 // shorter list in the longer one — the strategy of Fox et al. [31]
 // that the paper contrasts with merge join in §3.3/§6.3.
@@ -91,7 +136,7 @@ func Binary(a, b []uint32) uint64 {
 	for _, x := range a {
 		// Search only the suffix past the previous match; both
 		// lists are ascending so matches advance monotonically.
-		i := lo + sort.Search(len(b)-lo, func(i int) bool { return b[lo+i] >= x })
+		i := lo + LowerBound(b[lo:], x)
 		if i < len(b) && b[i] == x {
 			n++
 			lo = i + 1
@@ -125,7 +170,41 @@ func Galloping(a, b []uint32) uint64 {
 		if hi > len(b) {
 			hi = len(b)
 		}
-		i := k + sort.Search(hi-k, func(i int) bool { return b[k+i] >= x })
+		i := k + LowerBound(b[k:hi], x)
+		if i < len(b) && b[i] == x {
+			n++
+			j = i + 1
+		} else {
+			j = i
+		}
+		if j >= len(b) {
+			break
+		}
+	}
+	return n
+}
+
+// Galloping16 is Galloping for the 16-bit hub IDs of HE rows, the
+// kernel the adaptive dispatcher picks when one row dwarfs the other
+// (a low-degree vertex against a hub's long row).
+func Galloping16(a, b []uint16) uint64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var n uint64
+	j := 0
+	for _, x := range a {
+		step := 1
+		k := j
+		for k+step < len(b) && b[k+step] < x {
+			k += step
+			step <<= 1
+		}
+		hi := k + step
+		if hi > len(b) {
+			hi = len(b)
+		}
+		i := k + LowerBound16(b[k:hi], x)
 		if i < len(b) && b[i] == x {
 			n++
 			j = i + 1

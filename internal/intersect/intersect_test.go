@@ -81,7 +81,8 @@ func TestKernelsAgreeProperty(t *testing.T) {
 		bm := NewBitmap(512)
 		if Merge(a, b) != want || Binary(a, b) != want ||
 			Galloping(a, b) != want || Hash(h, a, b) != want ||
-			BitmapCount(bm, a, b) != want || MergeBranchless(a, b) != want {
+			BitmapCount(bm, a, b) != want || MergeBranchless(a, b) != want ||
+			Adaptive(a, b) != want {
 			return false
 		}
 		n, _ := MergeOps(a, b)
@@ -100,6 +101,74 @@ func TestMerge16(t *testing.T) {
 	}
 	if got := Merge16(nil, b); got != 0 {
 		t.Fatalf("Merge16(nil, b) = %d, want 0", got)
+	}
+}
+
+// TestKernels16AgreeProperty checks the 16-bit kernel family against
+// the reference count on random sorted inputs.
+func TestKernels16AgreeProperty(t *testing.T) {
+	narrow := func(xs []uint32) []uint16 {
+		out := make([]uint16, len(xs))
+		for i, x := range xs {
+			out[i] = uint16(x)
+		}
+		return out
+	}
+	check := func(ra, rb []uint32) bool {
+		a32 := sortedUnique(ra, 512)
+		b32 := sortedUnique(rb, 512)
+		want := refCount(a32, b32)
+		a, b := narrow(a32), narrow(b32)
+		return Merge16(a, b) == want && Merge16Branchless(a, b) == want &&
+			Galloping16(a, b) == want && Adaptive16(a, b) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	cases := [][]uint32{
+		{},
+		{5},
+		{1, 3, 5, 7, 9},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{10, 10, 20, 20, 30}, // duplicates still find the first
+	}
+	for _, s := range cases {
+		for x := uint32(0); x < 35; x++ {
+			want := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+			if got := LowerBound(s, x); got != want {
+				t.Errorf("LowerBound(%v, %d) = %d, want %d", s, x, got, want)
+			}
+			s16 := make([]uint16, len(s))
+			for i, v := range s {
+				s16[i] = uint16(v)
+			}
+			if got := LowerBound16(s16, uint16(x)); got != want {
+				t.Errorf("LowerBound16(%v, %d) = %d, want %d", s, x, got, want)
+			}
+		}
+	}
+}
+
+func TestUseGalloping(t *testing.T) {
+	cases := []struct {
+		la, lb int
+		want   bool
+	}{
+		{0, 100, false},  // empty short list: merge exits immediately
+		{1, 15, false},   // below the ratio
+		{1, 16, true},    // at the ratio
+		{4, 64, true},    // 16x
+		{4, 63, false},   // just under
+		{64, 4, true},    // order-insensitive
+		{100, 100, false},
+	}
+	for _, c := range cases {
+		if got := UseGalloping(c.la, c.lb); got != c.want {
+			t.Errorf("UseGalloping(%d, %d) = %v, want %v", c.la, c.lb, got, c.want)
+		}
 	}
 }
 
@@ -234,6 +303,34 @@ func BenchmarkIntersectKernels(b *testing.B) {
 	b.Run("MergeBranchless/balanced", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			MergeBranchless(a, bb)
+		}
+	})
+	short16 := make([]uint16, len(short))
+	for i, x := range short {
+		short16[i] = uint16(x)
+	}
+	long16 := make([]uint16, len(long))
+	for i, x := range long {
+		long16[i] = uint16(x)
+	}
+	b.Run("Merge16/skewed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Merge16(short16, long16)
+		}
+	})
+	b.Run("Merge16Branchless/skewed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Merge16Branchless(short16, long16)
+		}
+	})
+	b.Run("Galloping16/skewed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Galloping16(short16, long16)
+		}
+	})
+	b.Run("Adaptive16/skewed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Adaptive16(short16, long16)
 		}
 	})
 	b.Run("Hash/balanced", func(b *testing.B) {

@@ -1,0 +1,28 @@
+package obs
+
+// Counter names introduced by the kernel-selection work (PR 5). The
+// older per-phase names ("phase1.ns", "hnn.he_intersections", ...)
+// predate this file and are still passed as literals at their call
+// sites; new kernel-level counters get constants so the core loops,
+// the harness assertions and the DESIGN.md table cannot drift apart.
+const (
+	// Phase1WordOps counts 64-bit AND+popcount operations executed by
+	// the word-parallel phase-1 kernel (each covers up to 64 pair
+	// probes of the scalar kernel).
+	Phase1WordOps = "phase1.word_ops"
+	// Phase1RowsWord / Phase1RowsScalar count h1 rows routed to each
+	// phase-1 kernel; under Phase1Auto their ratio shows what the
+	// per-row heuristic actually chose.
+	Phase1RowsWord   = "phase1.rows.word"
+	Phase1RowsScalar = "phase1.rows.scalar"
+	// HNNDispatchMerge / HNNDispatchGallop count HE-row intersections
+	// routed to merge join vs galloping search by the adaptive
+	// dispatcher in the HNN phase (blocked and fused variants
+	// included).
+	HNNDispatchMerge  = "hnn.dispatch.merge"
+	HNNDispatchGallop = "hnn.dispatch.gallop"
+	// NNNDispatchMerge / NNNDispatchGallop are the same split for the
+	// NHE-row intersections of the NNN phase.
+	NNNDispatchMerge  = "nnn.dispatch.merge"
+	NNNDispatchGallop = "nnn.dispatch.gallop"
+)

@@ -17,6 +17,8 @@
 package perf
 
 import (
+	"math/bits"
+
 	"lotustc/internal/bitarray"
 	"lotustc/internal/core"
 	"lotustc/internal/graph"
@@ -34,6 +36,11 @@ const (
 	baseNHEOff     = 0x5 << 34
 	baseNHENbr     = 0x6 << 34
 	baseH2H        = 0x7 << 34
+	// baseScratch maps the word kernel's per-worker hub bitmap. It is
+	// ≤8 KB and reused across every row, so in the model it lives in
+	// its own region and stays L1-resident — the property the kernel
+	// is designed around.
+	baseScratch = 0x8 << 34
 )
 
 // Branch sites (synthetic PCs) for the predictor.
@@ -172,22 +179,49 @@ func runForward(og *graph.Graph, m refSink) uint64 {
 }
 
 // InstrumentedLotus runs Algorithm 3 serially on a preprocessed
-// LotusGraph, replaying its three phases' reference streams.
+// LotusGraph, replaying its three phases' reference streams with the
+// scalar phase-1 kernel (the paper's probe loop).
 func InstrumentedLotus(lg *core.LotusGraph, cfg hwsim.MachineConfig) Events {
+	return InstrumentedLotusKernel(lg, cfg, false)
+}
+
+// InstrumentedLotusKernel is InstrumentedLotus with a selectable
+// phase-1 kernel: wordPhase1 replays the word-parallel bitmap kernel's
+// reference stream instead of per-pair bit probes. (The runtime's auto
+// mode is a per-row mix of the two; the replay models the pure
+// kernels so their streams can be compared.)
+func InstrumentedLotusKernel(lg *core.LotusGraph, cfg hwsim.MachineConfig, wordPhase1 bool) Events {
 	m := newMachine(cfg)
-	triangles := runLotus(lg, m)
-	return m.events(cfg.Name+"/lotus", triangles)
+	triangles := runLotusKernel(lg, m, wordPhase1)
+	name := cfg.Name + "/lotus"
+	if wordPhase1 {
+		name += "/phase1=word"
+	}
+	return m.events(name, triangles)
 }
 
 // runLotus replays the three LOTUS counting phases' reference
 // streams into the sink and returns the triangle count.
 func runLotus(lg *core.LotusGraph, m refSink) uint64 {
+	return runLotusKernel(lg, m, false)
+}
+
+func runLotusKernel(lg *core.LotusGraph, m refSink, wordPhase1 bool) uint64 {
+	var triangles uint64
+	if wordPhase1 {
+		triangles = replayPhase1Word(lg, m)
+	} else {
+		triangles = replayPhase1Scalar(lg, m)
+	}
+	return triangles + replayPhases23(lg, m)
+}
+
+// replayPhase1Scalar replays phase 1 (HHH + HHN) with per-pair bit
+// probes: sequential HE row reads, random H2H probes.
+func replayPhase1Scalar(lg *core.LotusGraph, m refSink) uint64 {
 	heOff := lg.HE.Offsets()
-	nheOff := lg.NHE.Offsets()
 	var triangles uint64
 	n := lg.NumVertices()
-
-	// Phase 1: HHH + HHN. Sequential HE row reads; random H2H probes.
 	for v := 0; v < n; v++ {
 		m.load(baseHEOff+uint64(v)*8, 8)
 		m.load(baseHEOff+uint64(v+1)*8, 8)
@@ -211,6 +245,63 @@ func runLotus(lg *core.LotusGraph, m refSink) uint64 {
 			}
 		}
 	}
+	return triangles
+}
+
+// replayPhase1Word replays phase 1 with the word-parallel kernel: the
+// vertex's hub neighbours are scattered into the scratch bitmap once
+// (one HE read plus one bitmap word touch each), then each h1 row is
+// read word-by-word from H2H and ANDed against the bitmap — no
+// per-pair branch, so the probe branch site disappears from the
+// stream, and the H2H traffic becomes sequential within each row.
+func replayPhase1Word(lg *core.LotusGraph, m refSink) uint64 {
+	heOff := lg.HE.Offsets()
+	var triangles uint64
+	n := lg.NumVertices()
+	bm := make([]uint64, (int(lg.HubCount)+63)/64)
+	for v := 0; v < n; v++ {
+		m.load(baseHEOff+uint64(v)*8, 8)
+		m.load(baseHEOff+uint64(v+1)*8, 8)
+		nv := lg.HE.Neighbors(uint32(v))
+		if len(nv) < 2 {
+			continue
+		}
+		for j, h := range nv {
+			m.load(baseHENbr+uint64(heOff[v]+int64(j))*2, 2)
+			m.load(baseScratch+uint64(h>>6)*8, 8)
+			bm[h>>6] |= 1 << (h & 63)
+			m.addOp()
+		}
+		for i := 1; i < len(nv); i++ {
+			h1 := uint32(nv[i])
+			row := lg.H2H.Row(h1)
+			rowBase := bitarray.BitIndex(h1, 0)
+			nw := row.NumWords()
+			for w := uint32(0); w < nw; w++ {
+				// One row-word read (the shifted two-word assembly
+				// stays within one extra cacheline-adjacent word) and
+				// one L1-resident bitmap word.
+				m.load(baseH2H+((rowBase+uint64(w)*64)>>6)*8, 8)
+				m.load(baseScratch+uint64(w)*8, 8)
+				triangles += uint64(bits.OnesCount64(row.Word(w) & bm[w]))
+				m.addOp() // AND+popcount
+			}
+		}
+		for _, h := range nv {
+			m.load(baseScratch+uint64(h>>6)*8, 8)
+			bm[h>>6] = 0
+		}
+	}
+	return triangles
+}
+
+// replayPhases23 replays the HNN and NNN phases (shared by both
+// phase-1 kernels).
+func replayPhases23(lg *core.LotusGraph, m refSink) uint64 {
+	heOff := lg.HE.Offsets()
+	nheOff := lg.NHE.Offsets()
+	var triangles uint64
+	n := lg.NumVertices()
 
 	// Phase 2: HNN. Streamed NHE traversal; random HE row loads.
 	for v := 0; v < n; v++ {

@@ -163,3 +163,29 @@ func TestH2HAccessesConcentrated(t *testing.T) {
 		t.Fatalf("top 25%% of lines cover only %.2f of accesses", cdf[0])
 	}
 }
+
+// TestInstrumentedWordKernel asserts the word-phase-1 replay counts
+// the same triangles as the scalar one while removing the per-probe
+// branch site from the stream.
+func TestInstrumentedWordKernel(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":      gen.RMAT(gen.DefaultRMAT(9, 8, 1)),
+		"hubspokes": gen.HubAndSpokes(16, 300, 4, 2),
+		"k20":       gen.Complete(20),
+	}
+	for name, g := range graphs {
+		lg := core.Preprocess(g, core.Options{HubCount: 16, Pool: pool})
+		scalar := InstrumentedLotusKernel(lg, tinyMachine(), false)
+		word := InstrumentedLotusKernel(lg, tinyMachine(), true)
+		if word.Triangles != scalar.Triangles {
+			t.Errorf("%s: word replay = %d triangles, scalar = %d", name, word.Triangles, scalar.Triangles)
+		}
+		if word.Branches >= scalar.Branches && scalar.Branches > 0 {
+			t.Errorf("%s: word replay has %d branch events, scalar %d — probe branches should vanish",
+				name, word.Branches, scalar.Branches)
+		}
+		if word.Name == scalar.Name {
+			t.Errorf("%s: kernel variants share event name %q", name, word.Name)
+		}
+	}
+}

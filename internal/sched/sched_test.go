@@ -171,3 +171,40 @@ func TestSkewedTasksSelfBalance(t *testing.T) {
 		t.Fatalf("ImbalanceRatio = %v < 1", r)
 	}
 }
+
+func TestWorkerLocal(t *testing.T) {
+	built := int32(0)
+	wl := NewWorkerLocal(4, func() *[]int {
+		atomic.AddInt32(&built, 1)
+		s := make([]int, 8)
+		return &s
+	})
+	if got := atomic.LoadInt32(&built); got != 0 {
+		t.Fatalf("built %d slots eagerly, want lazy", got)
+	}
+	a := wl.Get(1)
+	b := wl.Get(1)
+	if a != b {
+		t.Fatal("Get(1) returned distinct values across calls")
+	}
+	if wl.Get(2) == a {
+		t.Fatal("workers share a scratch value")
+	}
+	if got := atomic.LoadInt32(&built); got != 2 {
+		t.Fatalf("built %d slots, want 2 (workers 1 and 2 only)", got)
+	}
+	// Concurrent use from distinct workers must be race-free (the
+	// ownership contract); exercised under -race by the pool.
+	p := NewPool(4)
+	wl2 := NewWorkerLocal(p.Workers(), func() *uint64 { return new(uint64) })
+	p.For(1024, 1, func(worker, start, end int) {
+		*wl2.Get(worker) += uint64(end - start)
+	})
+	var sum uint64
+	for w := 0; w < p.Workers(); w++ {
+		sum += *wl2.Get(w)
+	}
+	if sum != 1024 {
+		t.Fatalf("per-worker sums total %d, want 1024", sum)
+	}
+}

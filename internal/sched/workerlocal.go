@@ -1,0 +1,35 @@
+package sched
+
+// WorkerLocal is a fixed set of lazily-built per-worker scratch
+// values, one slot per worker index. Counting kernels use it for
+// reusable buffers that are too big to allocate per vertex and too
+// hot to share — e.g. phase 1's hub-neighbour bitmap (≤8 KB at the
+// 2^16 hub cap). Slots are built on first Get, so a region whose
+// workers never touch their scratch (small graphs, scalar kernels)
+// allocates nothing.
+//
+// Each slot must only ever be accessed by the worker that owns the
+// index — the same contract Pool.For/RunTasks give their fn(worker,
+// ...) callbacks — so Get needs no synchronization. The slice of
+// pointers keeps the values themselves on separate allocations,
+// avoiding false sharing between adjacent workers' scratch.
+type WorkerLocal[T any] struct {
+	slots []*T
+	build func() *T
+}
+
+// NewWorkerLocal returns scratch slots for workers [0, n), each built
+// by build on its owner's first Get.
+func NewWorkerLocal[T any](n int, build func() *T) *WorkerLocal[T] {
+	return &WorkerLocal[T]{slots: make([]*T, n), build: build}
+}
+
+// Get returns worker w's scratch value, building it on first use.
+func (l *WorkerLocal[T]) Get(w int) *T {
+	s := l.slots[w]
+	if s == nil {
+		s = l.build()
+		l.slots[w] = s
+	}
+	return s
+}
