@@ -24,6 +24,7 @@ check:
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run 'TestReadLotusGraph|TestLotusGraphRoundTrip|TestStreaming' ./internal/core/
+	$(GO) test -race -run 'TestShardEquivalence' ./internal/shard/
 
 race:
 	$(GO) test -race ./internal/... .
@@ -32,12 +33,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable comparator sweep with full metrics; BENCH_PR5.json
-# is the artifact future PRs diff for perf trajectories (BENCH_PR2.json
-# is the earlier scale-13 snapshot). Scale 15 so the phase-1 kernel
-# ablation rows (lotus/phase1=*, lotus/intersect=*) measure real work.
+# Machine-readable comparator sweep with full metrics; BENCH_PR6.json
+# is the artifact future PRs diff for perf trajectories (BENCH_PR2 and
+# BENCH_PR5 are the earlier snapshots). Scale 15 so the phase-1 kernel
+# ablation rows (lotus/phase1=*, lotus/intersect=*) and the sharded
+# p=1/2/4 sweep (lotus-sharded/p=*) measure real work.
 bench-report:
-	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR5.json
+	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR6.json
 
 # Randomized cross-validation of every algorithm and extension.
 verify:
@@ -61,6 +63,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/compress
 	$(GO) test -run=^$$ -fuzz=FuzzReadLotusGraph -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzIntersectAgreement -fuzztime=10s ./internal/intersect
+	$(GO) test -run=^$$ -fuzz=FuzzPartition -fuzztime=10s ./internal/shard
 
 clean:
 	$(GO) clean ./...

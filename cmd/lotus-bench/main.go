@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		phase1     = fs.String("phase1", "", "LOTUS phase-1 kernel for lotus runs: auto | scalar | word (default auto)")
 		isect      = fs.String("intersect", "", "LOTUS HNN/NNN intersection kernel: adaptive | merge (default adaptive)")
+		shards     = fs.Int("shards", 0, "add a lotus-sharded run with this grid dimension to the comparator sweep (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite := harness.Suite{
 		Scale: *scale, EdgeFactor: *edgeFactor, Ctx: ctx,
 		Phase1Kernel: *phase1, IntersectKernel: *isect,
+		Shards: *shards,
 	}
 	if *report == "json" {
 		br := harness.BuildBenchReport(suite, *workers)

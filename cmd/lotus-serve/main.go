@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		addr       = fs.String("addr", ":8090", "listen address")
 		cacheBytes = fs.Int64("cache-bytes", 1<<30, "graph + LOTUS structure cache budget in bytes")
+		maxStruct  = fs.Int64("max-structure-bytes", 0, "single-structure budget; larger lotus counts route through per-shard structures (0 = cache-bytes)")
 		maxConc    = fs.Int("max-concurrent", 4, "counting requests admitted at once")
 		maxQueue   = fs.Int("max-queue", 64, "requests allowed to wait for admission before 429")
 		defTimeout = fs.Duration("default-timeout", 60*time.Second, "per-request timeout when the request names none")
@@ -60,13 +61,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := serve.Config{
-		CacheBytes:     *cacheBytes,
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		Workers:        *workers,
-		AllowFiles:     *allowFiles,
+		CacheBytes:        *cacheBytes,
+		MaxStructureBytes: *maxStruct,
+		MaxConcurrent:     *maxConc,
+		MaxQueue:          *maxQueue,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		Workers:           *workers,
+		AllowFiles:        *allowFiles,
 	}
 
 	if *smoke {

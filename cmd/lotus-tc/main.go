@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		algos     = fs.Bool("algos", false, "list algorithms")
 		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		hubs      = fs.Int("hubs", 0, "LOTUS hub count (0 = adaptive, paper default 65536)")
+		shards    = fs.Int("shards", 0, "shard grid dimension p for lotus-sharded; setting it with the default -algo selects lotus-sharded")
 		k         = fs.Int("k", 3, "clique size: 3 counts triangles; k > 3 counts k-cliques")
 		timeout   = fs.Duration("timeout", 0, "abort the count after this long (0 = no limit)")
 		verbose   = fs.Bool("v", false, "print breakdown and class split")
@@ -66,6 +67,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, a)
 		}
 		return 0
+	}
+
+	// -shards alone implies the sharded kernel; with an explicit
+	// non-sharded -algo it is rejected rather than silently ignored.
+	if *shards > 0 {
+		switch *algo {
+		case "lotus", "lotus-sharded":
+			*algo = "lotus-sharded"
+		default:
+			fmt.Fprintf(stderr, "lotus-tc: -shards applies to lotus-sharded, not %q\n", *algo)
+			return 2
+		}
 	}
 
 	// Reject an unknown -algo before the (possibly expensive) graph
@@ -123,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Algorithm:      lotustc.Algorithm(*algo),
 		Workers:        *workers,
 		HubCount:       *hubs,
+		Shards:         *shards,
 		Timeout:        *timeout,
 		CollectMetrics: *report == "json",
 	})
@@ -150,9 +164,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "algorithm: %s\n", res.Algorithm)
 	fmt.Fprintf(stdout, "triangles: %d\n", res.Triangles)
 	fmt.Fprintf(stdout, "end-to-end: %v (%.0f edges/s)\n", res.Elapsed, res.TCRate(g.NumEdges()))
-	if *verbose && res.Algorithm == lotustc.AlgoLotus {
-		fmt.Fprintf(stdout, "breakdown: preprocess %v, HHH+HHN %v, HNN %v, NNN %v\n",
-			res.Preprocess, res.Phase1, res.HNNPhase, res.NNNPhase)
+	if *verbose && (res.Algorithm == lotustc.AlgoLotus || res.Algorithm == lotustc.AlgoLotusSharded) {
+		if res.Algorithm == lotustc.AlgoLotusSharded {
+			fmt.Fprintf(stdout, "breakdown: preprocess %v, count %v\n", res.Preprocess, res.CountPhase)
+		} else {
+			fmt.Fprintf(stdout, "breakdown: preprocess %v, HHH+HHN %v, HNN %v, NNN %v\n",
+				res.Preprocess, res.Phase1, res.HNNPhase, res.NNNPhase)
+		}
 		total := float64(res.Triangles)
 		if total < 1 {
 			total = 1
@@ -174,12 +192,19 @@ func fillRunReport(rr *obs.RunReport, res *lotustc.Result) {
 	if w, ok := res.Metrics["run.workers"]; ok {
 		rr.Workers = int(w)
 	}
-	if res.Algorithm == lotustc.AlgoLotus || res.Algorithm == lotustc.AlgoLotusRecursive {
+	switch res.Algorithm {
+	case lotustc.AlgoLotus, lotustc.AlgoLotusRecursive:
 		rr.Phases = []obs.PhaseNS{
 			{Name: "preprocess", NS: res.Preprocess.Nanoseconds()},
 			{Name: "phase1", NS: res.Phase1.Nanoseconds()},
 			{Name: "hnn", NS: res.HNNPhase.Nanoseconds()},
 			{Name: "nnn", NS: res.NNNPhase.Nanoseconds()},
+		}
+		rr.Classes = &obs.Classes{HHH: res.HHH, HHN: res.HHN, HNN: res.HNN, NNN: res.NNN}
+	case lotustc.AlgoLotusSharded:
+		rr.Phases = []obs.PhaseNS{
+			{Name: "preprocess", NS: res.Preprocess.Nanoseconds()},
+			{Name: "count", NS: res.CountPhase.Nanoseconds()},
 		}
 		rr.Classes = &obs.Classes{HHH: res.HHH, HHN: res.HHN, HNN: res.HNN, NNN: res.NNN}
 	}

@@ -102,20 +102,23 @@ func (t *Tri) IsSet(h1, h2 uint32) bool {
 // h1's bit row, letting the inner loop of Alg 3 probe consecutive h2
 // bits without recomputing the triangular base.
 func (t *Tri) Row(h1 uint32) RowProbe {
-	return RowProbe{t: t, base: uint64(h1) * uint64(h1-1) / 2, h1: h1}
+	return RowProbe{words: t.words, base: uint64(h1) * uint64(h1-1) / 2, h1: h1}
 }
 
-// RowProbe is a cursor over one h1 row of the triangular array.
+// RowProbe is a cursor over one h1 row of a triangular array. It holds
+// the backing words directly (not the array), so both the full Tri and
+// the TriRows row-slice hand out the same probe type and the counting
+// kernels stay agnostic about which storage a row came from.
 type RowProbe struct {
-	t    *Tri
-	base uint64
-	h1   uint32
+	words []uint64
+	base  uint64
+	h1    uint32
 }
 
 // IsSet probes bit h2 of the row (h2 must be < h1).
 func (r RowProbe) IsSet(h2 uint32) bool {
 	i := r.base + uint64(h2)
-	return r.t.words[i>>6]&(uint64(1)<<(i&63)) != 0
+	return r.words[i>>6]&(uint64(1)<<(i&63)) != 0
 }
 
 // NumWords returns the number of 64-bit words returned by Word: the
@@ -137,7 +140,7 @@ func (r RowProbe) Word(w uint32) uint64 {
 	start := r.base + uint64(w)*64
 	i := int(start >> 6)
 	sh := start & 63
-	words := r.t.words
+	words := r.words
 	x := words[i] >> sh
 	// The guard covers the final partial word of the last row, whose
 	// valid bits never spill into a (nonexistent) next backing word.
@@ -164,7 +167,7 @@ func (r RowProbe) AndCount(bm []uint64) uint64 {
 		return 0
 	}
 	bm = bm[:nw]
-	words := r.t.words
+	words := r.words
 	i := int(r.base >> 6)
 	sh := r.base & 63
 	var total int

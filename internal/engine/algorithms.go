@@ -12,12 +12,19 @@ import (
 // comparators, and the §6.1 classics. Registration order is the
 // display order of every algorithm listing.
 func init() {
-	lotus := Capabilities{SupportsWorkers: true, ReportsPhases: true, NeedsSymmetric: true}
-	parallel := Capabilities{SupportsWorkers: true, NeedsSymmetric: true}
-	sequential := Capabilities{NeedsSymmetric: true}
+	// Every built-in routes parallel work through the bound pool, so
+	// all observe cooperative cancellation.
+	lotus := Capabilities{SupportsWorkers: true, ReportsPhases: true, NeedsSymmetric: true, Cancellable: true}
+	parallel := Capabilities{SupportsWorkers: true, NeedsSymmetric: true, Cancellable: true}
+	sequential := Capabilities{NeedsSymmetric: true, Cancellable: true}
+	streaming := lotus
+	streaming.Streaming = true
+	sharded := lotus
+	sharded.Shardable = true
 
-	MustRegister("lotus", lotus, lotusKernel)
+	MustRegister("lotus", streaming, lotusKernel)
 	MustRegister("lotus-recursive", lotus, lotusRecursiveKernel)
+	MustRegister("lotus-sharded", sharded, lotusShardedKernel)
 	MustRegister("forward", parallel, forwardKernel(baseline.KernelMerge))
 	MustRegister("forward-binary", parallel, forwardKernel(baseline.KernelBinary))
 	MustRegister("forward-hash", parallel, forwardKernel(baseline.KernelHash))
@@ -54,8 +61,8 @@ func init() {
 func lotusKernel(t *Task) (uint64, error) {
 	lg := t.Params.Prepared
 	if lg != nil && lg.NumVertices() != t.Graph.NumVertices() {
-		return 0, fmt.Errorf("engine: prepared LOTUS structure has %d vertices, graph has %d",
-			lg.NumVertices(), t.Graph.NumVertices())
+		return 0, fmt.Errorf("engine: prepared LOTUS structure has %d vertices, graph has %d: %w",
+			lg.NumVertices(), t.Graph.NumVertices(), ErrPreparedMismatch)
 	}
 	if lg == nil {
 		var err error

@@ -11,6 +11,7 @@ import (
 	"lotustc/internal/graph"
 	"lotustc/internal/obs"
 	"lotustc/internal/sched"
+	"lotustc/internal/shard"
 )
 
 // DefaultAlgorithm is used when Spec.Algorithm is empty.
@@ -25,6 +26,13 @@ var ErrNilGraph = errors.New("engine: nil graph")
 // failure as the caller's (a 4xx), not the process's.
 var ErrNeedsSymmetric = errors.New("requires a symmetric graph")
 
+// ErrPreparedMismatch is wrapped into the error a kernel returns when
+// a Params.Prepared structure or Params.PreparedGrid does not match
+// the run's graph. A serving layer matches it with errors.Is to tell
+// cache corruption (evict the entry and rebuild) apart from a caller
+// mistake.
+var ErrPreparedMismatch = errors.New("prepared structure does not match the graph")
+
 // Canonical phase names recorded by the LOTUS kernels. Baselines
 // record no phases (their preprocessing is fused into the kernel).
 const (
@@ -32,6 +40,10 @@ const (
 	PhaseHub        = "phase1" // HHH + HHN against the H2H bit array
 	PhaseHNN        = "hnn"
 	PhaseNNN        = "nnn"
+	// PhaseCount is the single counting phase of kernels that do not
+	// split their sweep into the three monolithic phases (the sharded
+	// kernel interleaves all classes per block triple).
+	PhaseCount = "count"
 )
 
 // Spec selects an algorithm and its tuning for one Run.
@@ -83,10 +95,21 @@ type Params struct {
 	// graph, letting a resident service amortize preprocessing across
 	// queries: the "lotus" kernel skips Algorithm 2 and records a
 	// zero-length preprocess phase. The structure must have been built
-	// from the run's graph (the kernel cross-checks the vertex count);
+	// from the run's graph — the kernel cross-checks the vertex count
+	// and returns an error wrapping ErrPreparedMismatch otherwise;
 	// kernels that rebuild per level (lotus-recursive) and the
 	// baselines ignore it.
 	Prepared *core.LotusGraph
+	// Shards is the grid dimension p for the "lotus-sharded" kernel
+	// (0 = shard.DefaultGrid; 1 = a single block). Other kernels
+	// ignore it.
+	Shards int
+	// PreparedGrid supplies an already-built shard grid for the same
+	// graph, the sharded counterpart of Prepared: "lotus-sharded"
+	// skips the grid build and records a zero-length preprocess
+	// phase. Mismatches (vertex count, or a grid dimension that
+	// contradicts a nonzero Shards) wrap ErrPreparedMismatch.
+	PreparedGrid *shard.Grid
 }
 
 // Phase is one timed stage of a run.

@@ -39,6 +39,18 @@ type Capabilities struct {
 	// graph (all current kernels do; oriented inputs are rejected by
 	// Run before the kernel sees them).
 	NeedsSymmetric bool
+	// Cancellable marks kernels that observe cooperative cancellation
+	// (context deadline/cancel stops them at the next poll point; all
+	// built-ins do).
+	Cancellable bool
+	// Shardable marks kernels that count over a block-partitioned
+	// grid of per-shard structures and honor Params.Shards /
+	// Params.PreparedGrid.
+	Shardable bool
+	// Streaming marks kernels whose structure family backs the
+	// incremental /v1/stream sessions (streaming hub TC builds on the
+	// flat LOTUS structures).
+	Streaming bool
 }
 
 // Kernel executes one triangle counting algorithm against the task's
@@ -108,4 +120,17 @@ func Algorithms() []string {
 	registry.RLock()
 	defer registry.RUnlock()
 	return slices.Clone(registry.order)
+}
+
+// Registrations returns every registry entry (name, capabilities,
+// kernel) in registration order, for surfaces that list algorithms
+// together with their capability tags.
+func Registrations() []Registration {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Registration, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.byName[name])
+	}
+	return out
 }

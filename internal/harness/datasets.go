@@ -41,6 +41,10 @@ type Suite struct {
 	// -intersect here.
 	Phase1Kernel    string
 	IntersectKernel string
+	// Shards > 0 adds a lotus-sharded run with that grid dimension to
+	// every dataset's comparator sweep (the fixed p=1/2/4 variants run
+	// regardless). lotus-bench wires -shards here.
+	Shards int
 }
 
 // Context returns the suite's context, defaulting to Background.

@@ -26,6 +26,18 @@ var benchKernelVariants = []struct {
 	{"lotus/intersect=adaptive", engine.Params{Phase1Kernel: "scalar", IntersectKernel: "adaptive"}},
 }
 
+// benchShardVariants sweep the sharded kernel's grid dimension so the
+// BENCH artifact records the p=1/2/4 scaling of the 2D path against
+// flat LOTUS on the same datasets.
+var benchShardVariants = []struct {
+	label  string
+	params engine.Params
+}{
+	{"lotus-sharded/p=1", engine.Params{Shards: 1}},
+	{"lotus-sharded/p=2", engine.Params{Shards: 2}},
+	{"lotus-sharded/p=4", engine.Params{Shards: 4}},
+}
+
 // BuildBenchReport runs the Table 5 comparators over the suite's
 // datasets with metrics collection on and folds every run into one
 // machine-readable BenchReport (the BENCH_*.json artifact). A failed
@@ -64,7 +76,7 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 			for _, p := range rep.Phases {
 				rr.Phases = append(rr.Phases, obs.PhaseNS{Name: p.Name, NS: p.Duration.Nanoseconds()})
 			}
-			if algo == "lotus" {
+			if algo == "lotus" || algo == "lotus-sharded" {
 				rr.Classes = &obs.Classes{HHH: rep.HHH, HHN: rep.HHN, HNN: rep.HNN, NNN: rep.NNN}
 			}
 			rr.Metrics = rep.Metrics
@@ -78,11 +90,21 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 			}
 			oneRun(algo, algo, params)
 		}
+		if s.Shards > 0 {
+			oneRun("lotus-sharded", fmt.Sprintf("lotus-sharded/p=%d", s.Shards),
+				engine.Params{Shards: s.Shards})
+		}
 		for _, v := range benchKernelVariants {
 			if s.Context().Err() != nil {
 				break
 			}
 			oneRun("lotus", v.label, v.params)
+		}
+		for _, v := range benchShardVariants {
+			if s.Context().Err() != nil {
+				break
+			}
+			oneRun("lotus-sharded", v.label, v.params)
 		}
 	}
 	return br

@@ -53,7 +53,7 @@ func TestBuildBenchReport(t *testing.T) {
 	if br.Schema != obs.SchemaBench || br.Suite != "scale-9/ef-8" {
 		t.Fatalf("bad envelope: %+v", br)
 	}
-	wantRuns := len(s.Datasets()) * (len(BenchAlgorithms) + len(benchKernelVariants))
+	wantRuns := len(s.Datasets()) * (len(BenchAlgorithms) + len(benchKernelVariants) + len(benchShardVariants))
 	if len(br.Runs) != wantRuns {
 		t.Fatalf("got %d runs, want %d", len(br.Runs), wantRuns)
 	}
@@ -70,6 +70,19 @@ func TestBuildBenchReport(t *testing.T) {
 	}
 	if want := len(s.Datasets()) * len(benchKernelVariants); variants != want {
 		t.Fatalf("got %d kernel-variant runs, want %d", variants, want)
+	}
+	// Same for the sharded p-sweep rows.
+	shardRuns := 0
+	for _, r := range br.Runs {
+		if strings.HasPrefix(r.Algorithm, "lotus-sharded/") {
+			shardRuns++
+			if r.Classes == nil {
+				t.Fatalf("%s/%s: sharded run missing class split", r.Graph.Source, r.Algorithm)
+			}
+		}
+	}
+	if want := len(s.Datasets()) * len(benchShardVariants); shardRuns != want {
+		t.Fatalf("got %d sharded runs, want %d", shardRuns, want)
 	}
 	// Per dataset, every comparator must agree on the triangle count.
 	counts := map[string]uint64{}

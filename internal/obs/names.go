@@ -26,3 +26,20 @@ const (
 	NNNDispatchMerge  = "nnn.dispatch.merge"
 	NNNDispatchGallop = "nnn.dispatch.gallop"
 )
+
+// Counter names of the sharded execution path (PR 6).
+const (
+	// ShardBlocks is the grid dimension p of a sharded build.
+	ShardBlocks = "shard.blocks"
+	// ShardPreprocessNS is the wall time of the grid build (plan +
+	// every per-block structure).
+	ShardPreprocessNS = "shard.preprocess.ns"
+	// ShardTriples / ShardTiles count the live block triples and the
+	// scheduled apex sub-range tasks of one sharded count.
+	ShardTriples = "shard.triples"
+	ShardTiles   = "shard.tiles"
+	// ShardPolls counts cancellation polls in the sharded sweep.
+	ShardPolls = "shard.polls"
+	// ShardCountNS is the wall time of the sharded counting sweep.
+	ShardCountNS = "shard.count.ns"
+)

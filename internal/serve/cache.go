@@ -152,6 +152,26 @@ func (c *buildCache) run(key string, call *buildCall, build func() (any, int64, 
 	close(call.done)
 }
 
+// remove evicts key if resident (an in-flight build for it is left
+// alone: it will re-add its own result). Used to purge entries that
+// turned out to be corrupt — e.g. a prepared structure the engine
+// rejected with ErrPreparedMismatch.
+func (c *buildCache) remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.lru.items[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*lruEntry)
+	c.lru.ll.Remove(el)
+	delete(c.lru.items, ent.key)
+	c.lru.bytes -= ent.bytes
+	c.met.Set(c.name+".bytes", c.lru.bytes)
+	c.met.Set(c.name+".entries", int64(c.lru.len()))
+	return true
+}
+
 // peek reports whether key is resident without touching recency or
 // metrics (used by tests and /metrics debugging).
 func (c *buildCache) peek(key string) bool {

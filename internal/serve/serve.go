@@ -33,6 +33,7 @@ import (
 	"lotustc/internal/graph"
 	"lotustc/internal/obs"
 	"lotustc/internal/sched"
+	"lotustc/internal/shard"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -41,6 +42,13 @@ type Config struct {
 	// CacheBytes budgets the graph + LOTUS structure LRU (default
 	// 1 GiB).
 	CacheBytes int64
+	// MaxStructureBytes caps the estimated size of a single resident
+	// LOTUS structure (default CacheBytes). A "lotus" count whose
+	// monolithic structure would exceed it is routed through the
+	// sharded path instead: per-shard structures are cached as
+	// independent LRU entries, so graphs too big for one cacheable
+	// structure are still served warm.
+	MaxStructureBytes int64
 	// ResultEntries budgets the memoized exact-count reports (default
 	// 512).
 	ResultEntries int
@@ -67,6 +75,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 1 << 30
+	}
+	if c.MaxStructureBytes <= 0 {
+		c.MaxStructureBytes = c.CacheBytes
 	}
 	if c.ResultEntries <= 0 {
 		c.ResultEntries = 512
@@ -229,6 +240,10 @@ func errStatus(err error) (int, string) {
 		return http.StatusBadRequest, "oriented_graph"
 	case errors.Is(err, core.ErrNilGraph), errors.Is(err, engine.ErrNilGraph):
 		return http.StatusBadRequest, "nil_graph"
+	case errors.Is(err, engine.ErrPreparedMismatch):
+		// Only reachable when the mismatch survives the evict-and-retry
+		// pass; the cache is in a state the server cannot repair.
+		return http.StatusInternalServerError, "prepared_mismatch"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
@@ -327,6 +342,111 @@ func (s *Server) getLotus(ctx context.Context, spec *GraphSpec, g *graph.Graph, 
 	return v.(*core.LotusGraph), hit, nil
 }
 
+// estimateLotusBytes upper-bounds the monolithic LOTUS structure's
+// resident size without building it: H2H bits, up to 4 bytes per
+// oriented edge, and the per-vertex offset/relabeling arrays. Used
+// only for the sharded-routing decision, so an overestimate merely
+// shards a little earlier.
+func estimateLotusBytes(g *graph.Graph, hubCount int) int64 {
+	n := g.NumVertices()
+	h := int64(core.Options{HubCount: hubCount}.EffectiveHubCount(n))
+	return h*(h-1)/16 + 4*g.NumEdges() + 20*int64(n)
+}
+
+// autoGrid picks the smallest grid dimension whose per-shard
+// structures fit the single-structure budget, clamped to [2, 16].
+func autoGrid(estBytes, maxBytes int64) int {
+	p := int((estBytes + maxBytes - 1) / maxBytes)
+	if p < 2 {
+		p = 2
+	}
+	if p > 16 {
+		p = 16
+	}
+	return p
+}
+
+// shardPlanKey / shardKey are the sharded structure cache keys: the
+// plan (relabeling + ranges) and each block's structure are separate
+// LRU entries, so a graph whose monolithic structure cannot be cached
+// still gets fully warm serving from p smaller entries.
+func shardPlanKey(spec *GraphSpec, hubCount int, frontFraction float64, p int) string {
+	return fmt.Sprintf("shardplan:%s|hubs=%d|ff=%g|p=%d", spec.Key(), hubCount, frontFraction, p)
+}
+
+func shardKey(spec *GraphSpec, hubCount int, frontFraction float64, p, b int) string {
+	return fmt.Sprintf("shard:%s|hubs=%d|ff=%g|p=%d|b=%d", spec.Key(), hubCount, frontFraction, p, b)
+}
+
+// getShardGrid assembles the p-way shard grid for (spec, hubs, front
+// fraction) through the cache, one entry per block plus one for the
+// plan. hit reports that every piece was already resident. Assembly
+// cross-checks each shard against the plan; a mismatch (a corrupt or
+// stale entry) purges the keys and rebuilds once before giving up.
+func (s *Server) getShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64, p int) (*shard.Grid, bool, error) {
+	for attempt := 0; ; attempt++ {
+		gr, hit, err := s.tryShardGrid(ctx, spec, g, hubCount, frontFraction, p)
+		if err == nil || attempt > 0 || ctx.Err() != nil {
+			return gr, hit, err
+		}
+		// Purge and rebuild once: a half-evicted plan/shard mix can
+		// only come from corrupt residency, never from a clean miss.
+		s.evictShardGrid(spec, hubCount, frontFraction, p)
+	}
+}
+
+func (s *Server) tryShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64, p int) (*shard.Grid, bool, error) {
+	v, hit, err := s.cache.getOrBuild(ctx, shardPlanKey(spec, hubCount, frontFraction, p), func() (any, int64, error) {
+		pl, err := shard.NewPlan(g, shard.Options{
+			Grid:          p,
+			HubCount:      hubCount,
+			FrontFraction: frontFraction,
+			Pool:          sched.NewPool(s.cfg.Workers),
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return pl, pl.SizeBytes(), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	pl := v.(*shard.Plan)
+	shards := make([]*core.LotusShard, p)
+	allHit := hit
+	for b := 0; b < p; b++ {
+		v, hitB, err := s.cache.getOrBuild(ctx, shardKey(spec, hubCount, frontFraction, p, b), func() (any, int64, error) {
+			sh, err := pl.BuildShard(g, b, sched.NewPool(s.cfg.Workers))
+			if err != nil {
+				return nil, 0, err
+			}
+			return sh, sh.TopologyBytes(), nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		shards[b] = v.(*core.LotusShard)
+		allHit = allHit && hitB
+	}
+	gr, err := shard.Assemble(pl, shards)
+	if err != nil {
+		return nil, false, err
+	}
+	return gr, allHit, nil
+}
+
+// evictShardGrid purges every cache entry of one shard grid.
+func (s *Server) evictShardGrid(spec *GraphSpec, hubCount int, frontFraction float64, p int) {
+	if s.cache.remove(shardPlanKey(spec, hubCount, frontFraction, p)) {
+		s.met.Add("cache.corrupt_evictions", 1)
+	}
+	for b := 0; b < p; b++ {
+		if s.cache.remove(shardKey(spec, hubCount, frontFraction, p, b)) {
+			s.met.Add("cache.corrupt_evictions", 1)
+		}
+	}
+}
+
 // ---------------------------------------------------------------
 // /v1/count
 
@@ -338,6 +458,10 @@ type CountRequest struct {
 	// LOTUS tuning; both are part of the structure cache key.
 	HubCount      int     `json:"hub_count,omitempty"`
 	FrontFraction float64 `json:"front_fraction,omitempty"`
+	// Shards is the grid dimension for "lotus-sharded" (0 = the
+	// server's choice). Setting it with the default algorithm opts the
+	// request into the sharded path explicitly.
+	Shards int `json:"shards,omitempty"`
 	// TimeoutMS bounds the request (0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Metrics asks for the per-phase counter snapshot; such runs
@@ -387,8 +511,8 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	resultKey := fmt.Sprintf("count:%s|algo=%s|hubs=%d|ff=%g",
-		req.Graph.Key(), algo, req.HubCount, req.FrontFraction)
+	resultKey := fmt.Sprintf("count:%s|algo=%s|hubs=%d|ff=%g|shards=%d",
+		req.Graph.Key(), algo, req.HubCount, req.FrontFraction, req.Shards)
 	useResultCache := !req.NoCache && !req.Metrics
 	if useResultCache {
 		s.resMu.Lock()
@@ -411,24 +535,67 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var prepared *core.LotusGraph
+	var preparedGrid *shard.Grid
 	var lotusHit bool
+	shards := req.Shards
+	// Route oversized "lotus" requests through the sharded kernel: a
+	// monolithic structure bigger than the single-structure budget can
+	// never be cached, but p per-shard structures each 1/p the size
+	// can.
 	if algo == "lotus" && !g.Oriented {
-		prepared, lotusHit, err = s.getLotus(ctx, &req.Graph, g, req.HubCount, req.FrontFraction)
+		if est := estimateLotusBytes(g, req.HubCount); est > s.cfg.MaxStructureBytes {
+			algo = "lotus-sharded"
+			if shards == 0 {
+				shards = autoGrid(est, s.cfg.MaxStructureBytes)
+			}
+			s.met.Add("serve.sharded_routed", 1)
+		}
+	}
+	if !g.Oriented {
+		switch algo {
+		case "lotus":
+			prepared, lotusHit, err = s.getLotus(ctx, &req.Graph, g, req.HubCount, req.FrontFraction)
+		case "lotus-sharded":
+			if shards == 0 {
+				shards = shard.DefaultGrid
+			}
+			preparedGrid, lotusHit, err = s.getShardGrid(ctx, &req.Graph, g, req.HubCount, req.FrontFraction, shards)
+			s.met.Add("serve.sharded_counts", 1)
+		}
 		if err != nil {
 			s.countError(w, &req, algo, start, err)
 			return
 		}
 	}
-	rep, err := engine.Run(ctx, g, engine.Spec{
-		Algorithm:      algo,
-		Workers:        firstPositive(req.Workers, s.cfg.Workers),
-		CollectMetrics: req.Metrics,
-		Params: engine.Params{
-			HubCount:      req.HubCount,
-			FrontFraction: req.FrontFraction,
-			Prepared:      prepared,
-		},
-	})
+	runOnce := func() (*engine.Report, error) {
+		return engine.Run(ctx, g, engine.Spec{
+			Algorithm:      algo,
+			Workers:        firstPositive(req.Workers, s.cfg.Workers),
+			CollectMetrics: req.Metrics,
+			Params: engine.Params{
+				HubCount:      req.HubCount,
+				FrontFraction: req.FrontFraction,
+				Shards:        shards,
+				Prepared:      prepared,
+				PreparedGrid:  preparedGrid,
+			},
+		})
+	}
+	rep, err := runOnce()
+	if err != nil && errors.Is(err, engine.ErrPreparedMismatch) {
+		// The injected structure contradicts the graph: purge the
+		// corrupt entries and count again from scratch.
+		if prepared != nil {
+			if s.cache.remove(lotusKey(&req.Graph, req.HubCount, req.FrontFraction)) {
+				s.met.Add("cache.corrupt_evictions", 1)
+			}
+		}
+		if preparedGrid != nil {
+			s.evictShardGrid(&req.Graph, req.HubCount, req.FrontFraction, shards)
+		}
+		prepared, preparedGrid = nil, nil
+		rep, err = runOnce()
+	}
 	if err != nil {
 		s.countError(w, &req, algo, start, err)
 		return
@@ -444,7 +611,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	for _, p := range rep.Phases {
 		rr.Phases = append(rr.Phases, obs.PhaseNS{Name: p.Name, NS: p.Duration.Nanoseconds()})
 	}
-	if algo == "lotus" || algo == "lotus-recursive" {
+	if algo == "lotus" || algo == "lotus-recursive" || algo == "lotus-sharded" {
 		rr.Classes = &obs.Classes{HHH: rep.HHH, HHN: rep.HHN, HNN: rep.HNN, NNN: rep.NNN}
 	}
 	resp := &CountResponse{RunReport: *rr, Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit}}
@@ -693,6 +860,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.met.Snapshot())
 }
 
+// AlgorithmCaps is the wire form of an algorithm's capability tags.
+type AlgorithmCaps struct {
+	Parallel       bool `json:"parallel"`
+	ReportsPhases  bool `json:"reports_phases"`
+	NeedsSymmetric bool `json:"needs_symmetric"`
+	Cancellable    bool `json:"cancellable"`
+	Shardable      bool `json:"shardable"`
+	Streaming      bool `json:"streaming"`
+}
+
+// AlgorithmInfo is one /v1/algorithms entry.
+type AlgorithmInfo struct {
+	Name         string        `json:"name"`
+	Capabilities AlgorithmCaps `json:"capabilities"`
+}
+
 func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.Algorithms()})
+	regs := engine.Registrations()
+	out := make([]AlgorithmInfo, len(regs))
+	for i, reg := range regs {
+		out[i] = AlgorithmInfo{
+			Name: reg.Name,
+			Capabilities: AlgorithmCaps{
+				Parallel:       reg.Caps.SupportsWorkers,
+				ReportsPhases:  reg.Caps.ReportsPhases,
+				NeedsSymmetric: reg.Caps.NeedsSymmetric,
+				Cancellable:    reg.Caps.Cancellable,
+				Shardable:      reg.Caps.Shardable,
+				Streaming:      reg.Caps.Streaming,
+			},
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
 }

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"lotustc/internal/core"
+	"lotustc/internal/engine"
+	"lotustc/internal/gen"
+	"lotustc/internal/shard"
+)
+
+// TestAlgorithmsCapabilities: /v1/algorithms exposes the capability
+// tags clients route on (cancellable, shardable, streaming).
+func TestAlgorithmsCapabilities(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v struct {
+		Algorithms []AlgorithmInfo `json:"algorithms"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("bad body: %v\n%s", err, body)
+	}
+	byName := map[string]AlgorithmCaps{}
+	for _, a := range v.Algorithms {
+		byName[a.Name] = a.Capabilities
+	}
+	if len(byName) != len(engine.Algorithms()) {
+		t.Fatalf("listed %d algorithms, registry has %d", len(byName), len(engine.Algorithms()))
+	}
+	sharded, ok := byName["lotus-sharded"]
+	if !ok {
+		t.Fatalf("lotus-sharded missing from %v", byName)
+	}
+	if !sharded.Shardable || !sharded.Cancellable || !sharded.Parallel {
+		t.Fatalf("lotus-sharded capabilities = %+v", sharded)
+	}
+	lotus := byName["lotus"]
+	if !lotus.Streaming || !lotus.Cancellable || lotus.Shardable {
+		t.Fatalf("lotus capabilities = %+v", lotus)
+	}
+	if fwd := byName["forward"]; fwd.Streaming || fwd.Shardable || !fwd.Cancellable {
+		t.Fatalf("forward capabilities = %+v", fwd)
+	}
+}
+
+// TestShardedRoutingServesOversizedGraph is the serving acceptance
+// criterion: with a cache budget far below the graph's monolithic
+// LOTUS structure, a plain "lotus" count is routed through per-shard
+// structures — the count is exact, the response says lotus-sharded,
+// the shard entries are resident (each fits the budget where the
+// monolithic one cannot), and a second request is served warm.
+func TestShardedRoutingServesOversizedGraph(t *testing.T) {
+	// R-MAT scale 12 / ef 8: the monolithic structure estimate is a
+	// few hundred KiB, far over this budget; the per-shard pieces fit.
+	srv, ts := newTestServer(t, Config{CacheBytes: 150 << 10})
+
+	spec := GraphSpec{Type: "rmat", Scale: 12, EdgeFactor: 8, Seed: 9}
+	g := gen.RMAT(gen.RMATParams{Scale: 12, EdgeFactor: 8, Seed: 9, A: 0.57, B: 0.19, C: 0.19, Noise: 0.05})
+	if est := estimateLotusBytes(g, 0); est <= srv.cfg.MaxStructureBytes {
+		t.Fatalf("test graph too small to trigger routing: est %d <= budget %d",
+			est, srv.cfg.MaxStructureBytes)
+	}
+	want, err := engine.Run(context.Background(), g, engine.Spec{Algorithm: "lotus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"graph": {"type": "rmat", "scale": 12, "edge_factor": 8, "seed": 9}, "no_cache": true}`
+	status, raw := postJSON(t, ts.URL+"/v1/count", body)
+	if status != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", status, raw)
+	}
+	cold := decodeCount(t, raw)
+	if cold.Algorithm != "lotus-sharded" {
+		t.Fatalf("oversized graph was not routed to the sharded path: algorithm %q", cold.Algorithm)
+	}
+	if cold.Triangles != want.Triangles {
+		t.Fatalf("sharded count %d != monolithic %d", cold.Triangles, want.Triangles)
+	}
+	if cold.Classes == nil ||
+		cold.Classes.HHH+cold.Classes.HHN+cold.Classes.HNN+cold.Classes.NNN != cold.Triangles {
+		t.Fatalf("sharded response class split broken: %+v", cold.Classes)
+	}
+
+	// The monolithic structure can never be resident under this
+	// budget, but the per-shard entries are individually admissible:
+	// at least the hottest of them must be resident after the count.
+	// (Their total still exceeds the budget — the LRU keeps the warm
+	// tail, not all p of them.)
+	p := autoGrid(estimateLotusBytes(g, 0), srv.cfg.MaxStructureBytes)
+	resident := 0
+	for b := 0; b < p; b++ {
+		if srv.cache.peek(shardKey(&spec, 0, 0, p, b)) {
+			resident++
+		}
+	}
+	if resident == 0 {
+		t.Fatalf("no shard entry resident after the cold count (p=%d)", p)
+	}
+	if srv.cache.peek(lotusKey(&spec, 0, 0)) {
+		t.Fatal("monolithic structure cached despite exceeding the budget")
+	}
+
+	// Warm request: still exact, still served through the shard path,
+	// rebuilding only the evicted pieces.
+	status, raw = postJSON(t, ts.URL+"/v1/count", body)
+	if status != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", status, raw)
+	}
+	warm := decodeCount(t, raw)
+	if warm.Triangles != want.Triangles {
+		t.Fatalf("warm sharded count %d != monolithic %d", warm.Triangles, want.Triangles)
+	}
+	if warm.Algorithm != "lotus-sharded" {
+		t.Fatalf("warm request algorithm %q", warm.Algorithm)
+	}
+	if srv.Metrics().Get("serve.sharded_routed") == 0 {
+		t.Fatal("serve.sharded_routed metric not bumped")
+	}
+}
+
+// TestExplicitShardedRequest: asking for lotus-sharded with a pinned
+// grid works below the routing threshold too.
+func TestExplicitShardedRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"graph": {"type": "rmat", "scale": 10, "edge_factor": 8, "seed": 4}, "algorithm": "lotus-sharded", "shards": 3}`
+	status, raw := postJSON(t, ts.URL+"/v1/count", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	cr := decodeCount(t, raw)
+	ref, raw2 := postJSON(t, ts.URL+"/v1/count",
+		`{"graph": {"type": "rmat", "scale": 10, "edge_factor": 8, "seed": 4}}`)
+	if ref != http.StatusOK {
+		t.Fatalf("reference: status %d: %s", ref, raw2)
+	}
+	if wantT := decodeCount(t, raw2).Triangles; cr.Triangles != wantT {
+		t.Fatalf("sharded %d != lotus %d", cr.Triangles, wantT)
+	}
+	// Under the default (ample) budget the whole grid stays resident,
+	// so a repeat request hits every shard entry.
+	status, raw = postJSON(t, ts.URL+"/v1/count",
+		`{"graph": {"type": "rmat", "scale": 10, "edge_factor": 8, "seed": 4}, "algorithm": "lotus-sharded", "shards": 3, "no_cache": true}`)
+	if status != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", status, raw)
+	}
+	if warm := decodeCount(t, raw); !warm.Cache.Lotus {
+		t.Fatal("warm explicit-sharded request did not hit the shard structure cache")
+	}
+}
+
+// TestCorruptPreparedEntriesEvictedAndRetried: a cached structure that
+// contradicts the request's graph (simulated corruption) must not fail
+// the request — the server matches on engine.ErrPreparedMismatch,
+// evicts the poisoned entries, and recounts from scratch.
+func TestCorruptPreparedEntriesEvictedAndRetried(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	spec := GraphSpec{Type: "complete", N: 64}
+
+	// Poison the monolithic structure slot with a foreign graph's
+	// structure: right key, wrong vertex count.
+	foreign, err := core.TryPreprocess(gen.Complete(16), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.cache.mu.Lock()
+	srv.cache.lru.add(lotusKey(&spec, 0, 0), foreign, 1)
+	srv.cache.mu.Unlock()
+
+	body := `{"graph": {"type": "complete", "n": 64}}`
+	status, raw := postJSON(t, ts.URL+"/v1/count", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got, want := decodeCount(t, raw).Triangles, uint64(64*63*62/6); got != want {
+		t.Fatalf("triangles after corrupt-entry retry: %d, want %d", got, want)
+	}
+	if srv.Metrics().Get("cache.corrupt_evictions") == 0 {
+		t.Fatal("corrupt entry was not evicted")
+	}
+
+	// Same for the sharded path: plan + shards from a foreign graph.
+	wrongGrid, err := shard.Build(gen.Complete(16), shard.Options{Grid: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongPlan, err := shard.NewPlan(gen.Complete(16), shard.Options{Grid: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.cache.mu.Lock()
+	srv.cache.lru.add(shardPlanKey(&spec, 0, 0, 2), wrongPlan, 1)
+	for b := 0; b < 2; b++ {
+		srv.cache.lru.add(shardKey(&spec, 0, 0, 2, b), wrongGrid.Shards[b], 1)
+	}
+	srv.cache.mu.Unlock()
+	before := srv.Metrics().Get("cache.corrupt_evictions")
+
+	body = `{"graph": {"type": "complete", "n": 64}, "algorithm": "lotus-sharded", "shards": 2, "no_cache": true}`
+	status, raw = postJSON(t, ts.URL+"/v1/count", body)
+	if status != http.StatusOK {
+		t.Fatalf("sharded: status %d: %s", status, raw)
+	}
+	if got, want := decodeCount(t, raw).Triangles, uint64(64*63*62/6); got != want {
+		t.Fatalf("sharded triangles after corrupt-entry retry: %d, want %d", got, want)
+	}
+	if srv.Metrics().Get("cache.corrupt_evictions") <= before {
+		t.Fatal("corrupt shard entries were not evicted")
+	}
+}

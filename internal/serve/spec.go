@@ -14,12 +14,12 @@ import (
 // here: an unvalidated spec is how a single request turns into an
 // out-of-memory kill of a process serving everyone else.
 const (
-	maxRMATScale   = 27        // 2^27 vertices ≈ 1 GiB of offsets alone
-	maxEdgeFactor  = 256       //
-	maxGenVertices = 1 << 27   //
-	maxGenEdges    = 1 << 30   //
-	maxCompleteN   = 1 << 12   // K_n stores n(n-1) directed edges
-	maxInlineEdges = 1 << 22   // inline JSON edge lists
+	maxRMATScale   = 27      // 2^27 vertices ≈ 1 GiB of offsets alone
+	maxEdgeFactor  = 256     //
+	maxGenVertices = 1 << 27 //
+	maxGenEdges    = 1 << 30 //
+	maxCompleteN   = 1 << 12 // K_n stores n(n-1) directed edges
+	maxInlineEdges = 1 << 22 // inline JSON edge lists
 )
 
 // GraphSpec names an input graph. Exactly one Type is selected; the

@@ -1,0 +1,76 @@
+// Package shard implements the sharded 2D LOTUS execution path: the
+// relabeled vertex ID space is partitioned into p contiguous,
+// work-balanced ranges, one independent LOTUS structure (a
+// core.LotusShard) is built per range, and triangles are counted by
+// enumerating the block triples (i <= j <= k) of the implied p×p
+// grid — the in-process analogue of the 2D block-partitioned
+// distributed TC designs (Tom & Karypis, arXiv:1907.09575; Sanders &
+// Uhl, arXiv:2302.11443).
+//
+// The crucial design decision is that all shards share ONE global
+// LOTUS relabeling, computed exactly as the monolithic path computes
+// it. Shard rows keep global relabeled IDs, so the hub set, the apex
+// of every triangle, and therefore the class of every triangle
+// (HHH/HHN/HNN/NNN) are identical to the monolithic structure's — the
+// per-class counts come out bit-identical by construction, and the
+// whole grid is simply a row-partition of the monolithic structure.
+package shard
+
+import "lotustc/internal/intersect"
+
+// PartitionByWeight cuts the ID space [0, len(w)) into p contiguous
+// ranges of near-equal total weight: cut t is the smallest index
+// whose weight prefix reaches t/p of the total. Ranges may be empty
+// (a single huge weight can swallow several targets); they are always
+// sorted, disjoint and cover [0, n).
+func PartitionByWeight(w []uint64, p int) []VertexRange {
+	n := len(w)
+	prefix := make([]uint64, n+1)
+	for i, x := range w {
+		prefix[i+1] = prefix[i] + x
+	}
+	total := prefix[n]
+	ranges := make([]VertexRange, p)
+	cut := 0
+	for t := 0; t < p; t++ {
+		lo := cut
+		if t == p-1 {
+			cut = n
+		} else {
+			// Smallest index with prefix >= ceil(total*(t+1)/p). The
+			// target sequence is nondecreasing, so the search resumes
+			// at the previous cut.
+			target := (total*uint64(t+1) + uint64(p) - 1) / uint64(p)
+			for cut < n && prefix[cut] < target {
+				cut++
+			}
+		}
+		ranges[t] = VertexRange{Lo: uint32(lo), Hi: uint32(cut)}
+	}
+	return ranges
+}
+
+// restrict32 returns the sub-slice of the ascending list s whose
+// values fall in [lo, hi).
+func restrict32(s []uint32, lo, hi uint32) []uint32 {
+	a := intersect.LowerBound(s, lo)
+	b := a + intersect.LowerBound(s[a:], hi)
+	return s[a:b]
+}
+
+// restrict16 is restrict32 over 16-bit hub lists; the bounds are
+// 32-bit relabeled IDs, which may exceed the 16-bit hub ID space, so
+// they are clamped before narrowing.
+func restrict16(s []uint16, lo, hi uint32) []uint16 {
+	a := cut16(s, lo)
+	return s[a : a+cut16(s[a:], hi)]
+}
+
+// cut16 returns the count of values in the ascending 16-bit list s
+// below bound.
+func cut16(s []uint16, bound uint32) int {
+	if bound >= 1<<16 {
+		return len(s)
+	}
+	return intersect.LowerBound16(s, uint16(bound))
+}

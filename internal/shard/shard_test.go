@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lotustc/internal/core"
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+	"lotustc/internal/sched"
+)
+
+// monolithic runs the reference count and returns its result.
+func monolithic(t *testing.T, g *graph.Graph, hubCount int) *core.Result {
+	t.Helper()
+	lg, err := core.TryPreprocess(g, core.Options{HubCount: hubCount})
+	if err != nil {
+		t.Fatalf("monolithic preprocess: %v", err)
+	}
+	return lg.Count(sched.NewPool(0))
+}
+
+// assertSameCounts compares a sharded result against the monolithic
+// reference, class by class.
+func assertSameCounts(t *testing.T, label string, want *core.Result, got *Result) {
+	t.Helper()
+	if got.Total != want.Total || got.HHH != want.HHH || got.HHN != want.HHN ||
+		got.HNN != want.HNN || got.NNN != want.NNN {
+		t.Fatalf("%s: sharded {total %d HHH %d HHN %d HNN %d NNN %d} != monolithic {total %d HHH %d HHN %d HNN %d NNN %d}",
+			label, got.Total, got.HHH, got.HHN, got.HNN, got.NNN,
+			want.Total, want.HHH, want.HHN, want.HNN, want.NNN)
+	}
+}
+
+// corpus returns the equivalence test graphs: degree-skewed
+// generators, regular shapes, and degenerate shapes (no triangles,
+// all-hub cliques).
+func corpus() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat-9":      gen.RMAT(gen.DefaultRMAT(9, 8, 42)),
+		"rmat-10":     gen.RMAT(gen.DefaultRMAT(10, 16, 7)),
+		"chunglu":     gen.ChungLu(gen.ChungLuParams{N: 600, M: 3000, Gamma: 2.1, Seed: 3}),
+		"complete-50": gen.Complete(50),
+		"hub-spokes":  gen.HubAndSpokes(16, 500, 3, 5),
+		"planted":     gen.PlantedTriangles(40, 100),
+		"star":        gen.Star(100),
+		"path":        gen.Path(64),
+		"triangle":    gen.Complete(3),
+		"single-edge": graph.FromEdges([]graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{}),
+		"empty-ish":   gen.Ring(5),
+		"bipartite":   gen.CompleteBipartite(10, 12),
+	}
+}
+
+// TestShardEquivalence is the correctness bar of the sharded path:
+// for every corpus graph, every grid size p in {1,2,3,4} and several
+// hub counts (including ones that make the hub range straddle block
+// boundaries), the sharded count must match the monolithic count bit
+// for bit, per class.
+func TestShardEquivalence(t *testing.T) {
+	pool := sched.NewPool(0)
+	for name, g := range corpus() {
+		n := g.NumVertices()
+		for _, hubs := range []int{0, 7, n / 2} {
+			want := monolithic(t, g, hubs)
+			for p := 1; p <= 4; p++ {
+				gr, err := Build(g, Options{Grid: p, HubCount: hubs})
+				if err != nil {
+					t.Fatalf("%s hubs=%d p=%d: Build: %v", name, hubs, p, err)
+				}
+				label := fmt.Sprintf("%s hubs=%d p=%d", name, hubs, p)
+				assertSameCounts(t, label, want, gr.Count(pool, CountOptions{}))
+				// The forced kernels must agree too (auto is covered
+				// above; word and scalar exercise both probe paths on
+				// every row).
+				assertSameCounts(t, label+" word", want,
+					gr.Count(pool, CountOptions{Phase1Kernel: core.Phase1Word, Intersect: core.IntersectMerge}))
+				assertSameCounts(t, label+" scalar", want,
+					gr.Count(pool, CountOptions{Phase1Kernel: core.Phase1Scalar}))
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceAtScale is the race-enabled CI gate (`make
+// check` runs this package with -race): sharded vs monolithic at
+// R-MAT scale 12-13 across grid sizes. -short drops to scale 10 so
+// the ordinary race pass stays fast.
+func TestShardEquivalenceAtScale(t *testing.T) {
+	scales := []uint{12, 13}
+	if testing.Short() {
+		scales = []uint{10}
+	}
+	pool := sched.NewPool(0)
+	for _, scale := range scales {
+		g := gen.RMAT(gen.DefaultRMAT(scale, 16, 1))
+		want := monolithic(t, g, 0)
+		for _, p := range []int{1, 2, 4} {
+			gr, err := Build(g, Options{Grid: p})
+			if err != nil {
+				t.Fatalf("scale %d p=%d: Build: %v", scale, p, err)
+			}
+			got := gr.Count(pool, CountOptions{})
+			assertSameCounts(t, fmt.Sprintf("scale %d p=%d", scale, p), want, got)
+		}
+	}
+}
+
+// TestShardRowsMatchMonolithic checks the structural claim the
+// equivalence rests on: every shard row (HE, NHE, H2H) is literally
+// the monolithic structure's row for that vertex, and every shard
+// passes Validate.
+func TestShardRowsMatchMonolithic(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 11))
+	lg, err := core.TryPreprocess(g, core.Options{HubCount: 100})
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	gr, err := Build(g, Options{Grid: 3, HubCount: 100})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if gr.HubCount != lg.HubCount {
+		t.Fatalf("grid hub count %d != monolithic %d", gr.HubCount, lg.HubCount)
+	}
+	for b, s := range gr.Shards {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shard %d: %v", b, err)
+		}
+		for v := s.Range.Lo; v < s.Range.Hi; v++ {
+			he, wantHE := s.HENeighbors(v), lg.HE.Neighbors(v)
+			if len(he) != len(wantHE) {
+				t.Fatalf("shard %d vertex %d: HE row length %d != %d", b, v, len(he), len(wantHE))
+			}
+			for i := range he {
+				if he[i] != wantHE[i] {
+					t.Fatalf("shard %d vertex %d: HE[%d] = %d != %d", b, v, i, he[i], wantHE[i])
+				}
+			}
+			nhe, wantNHE := s.NHENeighbors(v), lg.NHE.Neighbors(v)
+			if len(nhe) != len(wantNHE) {
+				t.Fatalf("shard %d vertex %d: NHE row length %d != %d", b, v, len(nhe), len(wantNHE))
+			}
+			for i := range nhe {
+				if nhe[i] != wantNHE[i] {
+					t.Fatalf("shard %d vertex %d: NHE[%d] = %d != %d", b, v, i, nhe[i], wantNHE[i])
+				}
+			}
+			if v < gr.HubCount {
+				for h2 := uint32(0); h2 < v; h2++ {
+					if s.H2H.IsSet(v, h2) != lg.H2H.IsSet(v, h2) {
+						t.Fatalf("shard %d: H2H bit (%d,%d) disagrees with monolithic", b, v, h2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEveryTriangleExactlyOneTriple is the PR's property test: on
+// random degree-skewed graphs, for p in {1,2,3,4}, every triangle is
+// counted by exactly one block triple. Triangles are enumerated brute
+// force in relabeled ID space, each is assigned to the unique triple
+// (block(z), block(y), block(x)), and the per-triple expectation must
+// match the counter's per-triple totals exactly — a double-count or a
+// drop shifts at least one triple's total.
+func TestEveryTriangleExactlyOneTriple(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 8; round++ {
+		// Degree-skewed R-MAT-style graph, small enough to brute force.
+		scale := uint(5 + round%3)
+		g := gen.RMAT(gen.RMATParams{
+			Scale: scale, EdgeFactor: 4 + rng.Intn(8), Seed: rng.Int63(),
+			A: 0.57, B: 0.19, C: 0.19,
+		})
+		n := g.NumVertices()
+		for _, hubs := range []int{0, 5, n / 2} {
+			for p := 1; p <= 4; p++ {
+				gr, err := Build(g, Options{Grid: p, HubCount: hubs})
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				res := gr.Count(sched.NewPool(0), CountOptions{TrackTriples: true})
+
+				// Brute-force: adjacency in relabeled IDs, each
+				// triangle z < y < x assigned to its unique triple.
+				adj := make(map[uint64]bool)
+				nbr := make([][]uint32, n)
+				for vOld := 0; vOld < n; vOld++ {
+					v := gr.Relabeling[vOld]
+					for _, uOld := range g.Neighbors(uint32(vOld)) {
+						u := gr.Relabeling[uOld]
+						if u < v {
+							nbr[v] = append(nbr[v], u)
+							adj[uint64(v)<<32|uint64(u)] = true
+						}
+					}
+				}
+				block := func(v uint32) int {
+					for b, r := range gr.Ranges {
+						if r.Contains(v) {
+							return b
+						}
+					}
+					t.Fatalf("vertex %d in no range", v)
+					return -1
+				}
+				want := map[[3]int]uint64{}
+				var total uint64
+				for x := uint32(0); x < uint32(n); x++ {
+					ys := nbr[x]
+					for a := 0; a < len(ys); a++ {
+						for b := a + 1; b < len(ys); b++ {
+							y, z := ys[a], ys[b]
+							if y < z {
+								y, z = z, y
+							}
+							if adj[uint64(y)<<32|uint64(z)] {
+								want[[3]int{block(z), block(y), block(x)}]++
+								total++
+							}
+						}
+					}
+				}
+				if res.Total != total {
+					t.Fatalf("p=%d hubs=%d: sharded total %d != brute force %d", p, hubs, res.Total, total)
+				}
+				got := map[[3]int]uint64{}
+				for _, tc := range res.PerTriple {
+					if tc.Total > 0 {
+						got[[3]int{tc.I, tc.J, tc.K}] = tc.Total
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("p=%d hubs=%d: %d live triples, brute force says %d (got %v want %v)",
+						p, hubs, len(got), len(want), got, want)
+				}
+				for key, w := range want {
+					if got[key] != w {
+						t.Fatalf("p=%d hubs=%d: triple %v counted %d triangles, brute force says %d",
+							p, hubs, key, got[key], w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildValidation covers the input contract: nil and oriented
+// graphs are rejected with the core sentinels, out-of-range grids
+// fail, and Assemble refuses shards that contradict the plan.
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); !errors.Is(err, core.ErrNilGraph) {
+		t.Fatalf("nil graph: got %v, want ErrNilGraph", err)
+	}
+	g := gen.Complete(10)
+	og := g.Orient()
+	if _, err := Build(og, Options{}); !errors.Is(err, core.ErrOriented) {
+		t.Fatalf("oriented graph: got %v, want ErrOriented", err)
+	}
+	if _, err := Build(g, Options{Grid: -1}); err == nil {
+		t.Fatal("negative grid accepted")
+	}
+	if _, err := Build(g, Options{Grid: MaxGrid + 1}); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+
+	pl, err := NewPlan(g, Options{Grid: 2})
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	s0, err := pl.BuildShard(g, 0, nil)
+	if err != nil {
+		t.Fatalf("BuildShard: %v", err)
+	}
+	if _, err := Assemble(pl, []*core.LotusShard{s0}); err == nil {
+		t.Fatal("Assemble accepted a short shard list")
+	}
+	if _, err := Assemble(pl, []*core.LotusShard{s0, s0}); err == nil {
+		t.Fatal("Assemble accepted a shard under the wrong block")
+	}
+	if _, err := pl.BuildShard(g, 2, nil); err == nil {
+		t.Fatal("BuildShard accepted an out-of-range block")
+	}
+}
+
+// TestShardCancellation checks the cooperative-cancellation contract
+// through the pool: a cancelled count stops promptly and the partial
+// totals are discarded by the engine layer (here: we only assert the
+// sweep returns; the engine tests assert no partial results).
+func TestShardCancellation(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(12, 16, 2))
+	gr, err := Build(g, Options{Grid: 3})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := sched.NewPool(0).Bind(ctx)
+	defer pool.Release()
+	cancel()
+	start := time.Now()
+	gr.Count(pool, CountOptions{})
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled count took %v", d)
+	}
+}
