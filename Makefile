@@ -23,6 +23,7 @@ check:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/serve/
+	$(GO) test -race ./internal/approx/
 	$(GO) test -race -run 'TestReadLotusGraph|TestLotusGraphRoundTrip|TestStreaming' ./internal/core/
 	$(GO) test -race -run 'TestShardEquivalence' ./internal/shard/
 
@@ -33,13 +34,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable comparator sweep with full metrics; BENCH_PR6.json
-# is the artifact future PRs diff for perf trajectories (BENCH_PR2 and
-# BENCH_PR5 are the earlier snapshots). Scale 15 so the phase-1 kernel
-# ablation rows (lotus/phase1=*, lotus/intersect=*) and the sharded
-# p=1/2/4 sweep (lotus-sharded/p=*) measure real work.
+# Machine-readable comparator sweep with full metrics; BENCH_PR7.json
+# is the artifact future PRs diff for perf trajectories (BENCH_PR2,
+# BENCH_PR5 and BENCH_PR6 are the earlier snapshots). Scale 15 so the
+# phase-1 kernel ablation rows (lotus/phase1=*, lotus/intersect=*),
+# the sharded p=1/2/4 sweep (lotus-sharded/p=*) and the new
+# streaming-ingest throughput rows (stream-ingest/exact vs approx)
+# measure real work.
 bench-report:
-	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR6.json
+	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR7.json
 
 # Randomized cross-validation of every algorithm and extension.
 verify:
@@ -64,6 +67,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadLotusGraph -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzIntersectAgreement -fuzztime=10s ./internal/intersect
 	$(GO) test -run=^$$ -fuzz=FuzzPartition -fuzztime=10s ./internal/shard
+	$(GO) test -run=^$$ -fuzz=FuzzTriest$$ -fuzztime=10s ./internal/approx
 
 clean:
 	$(GO) clean ./...

@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defTimeout = fs.Duration("default-timeout", 60*time.Second, "per-request timeout when the request names none")
 		maxTimeout = fs.Duration("max-timeout", 10*time.Minute, "upper clamp on requested timeouts")
 		workers    = fs.Int("workers", 0, "worker threads per count (0 = GOMAXPROCS)")
+		maxStream  = fs.Int64("max-stream-bytes", 256<<20, "per-session resident byte budget for /v1/stream sessions")
+		streamMode = fs.String("stream-mode-default", "exact", "stream session mode when the request names none: exact, approx or auto")
 		allowFiles = fs.Bool("allow-files", false, "permit {\"type\":\"file\"} graph specs (filesystem access)")
 		pprofAddr  = fs.String("pprof", "", "also start the expvar/pprof debug server on this address")
 		drainWait  = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
@@ -57,6 +59,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		smokeScale = fs.Uint("smoke-scale", 12, "R-MAT scale for -smoke")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *streamMode {
+	case "exact", "approx", "auto":
+	default:
+		fmt.Fprintf(stderr, "lotus-serve: -stream-mode-default %q: must be exact, approx or auto\n", *streamMode)
 		return 2
 	}
 
@@ -69,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxTimeout:        *maxTimeout,
 		Workers:           *workers,
 		AllowFiles:        *allowFiles,
+		MaxStreamBytes:    *maxStream,
+		DefaultStreamMode: *streamMode,
 	}
 
 	if *smoke {

@@ -23,3 +23,13 @@ func TestBadFlagExitsTwo(t *testing.T) {
 		t.Fatalf("bad flag exited %d, want 2", code)
 	}
 }
+
+func TestBadStreamModeExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-stream-mode-default", "sorta"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad stream mode exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "stream-mode-default") {
+		t.Fatalf("no flag name in error: %s", errOut.String())
+	}
+}

@@ -1,0 +1,79 @@
+package approx
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzTriest drives a small-reservoir Triest with an arbitrary
+// add/remove sequence (duplicates, reversals, self loops and
+// deletions of unseen edges included) and asserts the serving-layer
+// invariants: the estimate and its error bound stay finite and
+// non-negative, the reservoir never exceeds its capacity, memory
+// accounting never exceeds the capacity-implied budget, and the
+// adjacency index holds exactly two entries per resident edge.
+func FuzzTriest(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 2, 1, 2, 0, 0, 2}, uint8(4), uint8(0))
+	f.Add([]byte{0, 1, 0, 1, 1, 0, 0, 1}, uint8(1), uint8(3))
+	f.Add([]byte{9, 9, 9, 9}, uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, ops []byte, mRaw uint8, windowRaw uint8) {
+		m := int(mRaw) // NewTriestWindow clamps m < 2
+		tr := NewTriestWindow(m, uint64(windowRaw), 42)
+		for i := 0; i+3 <= len(ops); i += 3 {
+			u, v := uint32(ops[i]), uint32(ops[i+1])
+			if ops[i+2]&1 == 0 {
+				tr.AddEdge(u, v)
+			} else {
+				tr.RemoveEdge(u, v)
+			}
+			if est := tr.Estimate(); math.IsInf(est, 0) || math.IsNaN(est) || est < 0 {
+				t.Fatalf("op %d: estimate %v not finite/non-negative", i/3, est)
+			}
+			if b := tr.ErrorBound(0.95); math.IsInf(b, 0) || math.IsNaN(b) || b < 0 {
+				t.Fatalf("op %d: error bound %v not finite/non-negative", i/3, b)
+			}
+			if tr.ReservoirSize() > tr.ReservoirCap() {
+				t.Fatalf("op %d: reservoir %d exceeds cap %d", i/3, tr.ReservoirSize(), tr.ReservoirCap())
+			}
+			if tr.MemoryBytes() > int64(tr.ReservoirCap())*TriestBytesPerEdge {
+				t.Fatalf("op %d: memory %d exceeds cap-implied budget", i/3, tr.MemoryBytes())
+			}
+		}
+		var adjEntries int
+		for _, nb := range tr.adj {
+			adjEntries += len(nb)
+			for j := 1; j < len(nb); j++ {
+				if nb[j-1] >= nb[j] {
+					t.Fatalf("adjacency list not strictly sorted: %v", nb)
+				}
+			}
+		}
+		if adjEntries != 2*tr.ReservoirSize() {
+			t.Fatalf("adjacency holds %d entries for %d resident edges", adjEntries, tr.ReservoirSize())
+		}
+		if len(tr.idx) != tr.ReservoirSize() {
+			t.Fatalf("index holds %d entries for %d resident edges", len(tr.idx), tr.ReservoirSize())
+		}
+	})
+}
+
+// FuzzTriestWideIDs exercises the full uint32 ID space so canonical
+// ordering and the index map are checked away from tiny IDs.
+func FuzzTriestWideIDs(f *testing.F) {
+	seed := make([]byte, 24)
+	binary.LittleEndian.PutUint32(seed[0:], 1<<31)
+	binary.LittleEndian.PutUint32(seed[4:], 7)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr := NewTriest(8, 9)
+		for i := 0; i+8 <= len(raw); i += 8 {
+			u := binary.LittleEndian.Uint32(raw[i:])
+			v := binary.LittleEndian.Uint32(raw[i+4:])
+			tr.AddEdge(u, v)
+			if est := tr.Estimate(); math.IsInf(est, 0) || math.IsNaN(est) || est < 0 {
+				t.Fatalf("estimate %v not finite/non-negative", est)
+			}
+		}
+	})
+}

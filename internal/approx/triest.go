@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -16,73 +17,303 @@ import (
 // hub structures in memory; Triest bounds memory regardless of
 // structure at the cost of variance. The two can be combined the same
 // way Hybrid combines exact hub counting with sampling.
+//
+// Robustness contract (the serving layer depends on it): estimates
+// are always finite and non-negative, duplicate arrivals of an edge
+// already in the reservoir are no-ops in either orientation, and the
+// reservoir plus its adjacency index never exceed the configured
+// capacity. RemoveEdge gives best-effort deletion support, and a
+// non-zero Window restricts the estimate to the trailing window of
+// the stream (see NewTriestWindow).
 type Triest struct {
-	m   int
-	t   uint64
-	rng *rand.Rand
-	// reservoir adjacency: sorted neighbour lists.
+	m      int
+	t      uint64 // stream edges accepted (duplicates of resident edges excluded)
+	window uint64 // 0 = whole stream
+	rng    *rand.Rand
+	// reservoir adjacency: sorted neighbour lists, exactly two
+	// entries per resident edge (dedup is enforced on insert).
 	adj map[uint32][]uint32
-	// edges holds the reservoir's edge list for uniform eviction.
-	edges    [][2]uint32
+	// edges holds the reservoir's edge list for uniform eviction;
+	// times[i] is the arrival time of edges[i] (used only in window
+	// mode); idx maps a canonical (min,max) edge to its slot for O(1)
+	// duplicate detection and deletion.
+	edges [][2]uint32
+	times []uint64
+	idx   map[[2]uint32]int
+	// minTime lower-bounds the resident arrival times so window
+	// expiry scans only when something can actually expire.
+	minTime  uint64
 	estimate float64
+	removed  uint64
 }
 
-// NewTriest creates an estimator with a reservoir of m edges.
-func NewTriest(m int, seed int64) *Triest {
-	if m < 1 {
-		m = 1
+// triestMinReservoir is the smallest legal reservoir. The wedge
+// survival weight divides by m-1, so m=1 yields +Inf (and NaN at t=2
+// through 0*Inf); two edges is also the least state that can ever
+// hold a wedge, so smaller reservoirs were meaningless anyway.
+const triestMinReservoir = 2
+
+// TriestBytesPerEdge is the estimated resident cost of one reservoir
+// edge: the edge and its arrival time (16), two 4-byte adjacency
+// entries with growth slack (~16), and the index-map entry (~32).
+// Used by ReservoirForBudget and MemoryBytes; deliberately
+// conservative so byte budgets hold with real map/slice overheads.
+const TriestBytesPerEdge = 64
+
+// ReservoirForBudget returns the reservoir capacity that keeps a
+// Triest within roughly budgetBytes of resident memory, never less
+// than the minimum legal reservoir.
+func ReservoirForBudget(budgetBytes int64) int {
+	m := budgetBytes / TriestBytesPerEdge
+	if m < triestMinReservoir {
+		return triestMinReservoir
 	}
-	return &Triest{m: m, rng: rand.New(rand.NewSource(seed)), adj: make(map[uint32][]uint32)}
+	const maxReservoir = 1 << 28 // 16 GiB of edges: beyond any sane budget
+	if m > maxReservoir {
+		return maxReservoir
+	}
+	return int(m)
 }
 
-// Estimate returns the current triangle estimate.
+// NewTriest creates an estimator with a reservoir of m edges
+// (clamped to at least 2 — see triestMinReservoir).
+func NewTriest(m int, seed int64) *Triest {
+	return NewTriestWindow(m, 0, seed)
+}
+
+// NewTriestWindow creates an estimator whose estimate tracks only
+// the trailing `window` stream arrivals: resident edges older than
+// the window are expired, and the triangles they close at expiry
+// time are subtracted the same way RemoveEdge subtracts them. With
+// m >= window the reservoir never evicts randomly and the counter is
+// an exact sliding-window triangle count; with m < window it is a
+// best-effort windowed estimate (the principled windowed reservoir
+// of TRIÈST-WIN is future work). window == 0 means the whole stream.
+func NewTriestWindow(m int, window uint64, seed int64) *Triest {
+	if m < triestMinReservoir {
+		m = triestMinReservoir
+	}
+	return &Triest{
+		m:      m,
+		window: window,
+		rng:    rand.New(rand.NewSource(seed)),
+		adj:    make(map[uint32][]uint32),
+		idx:    make(map[[2]uint32]int),
+	}
+}
+
+// Estimate returns the current triangle estimate. It is always
+// finite and non-negative.
 func (tr *Triest) Estimate() float64 { return tr.estimate }
 
-// EdgesSeen returns the number of stream edges processed.
+// EdgesSeen returns the number of stream edges processed (self loops
+// and duplicates of resident edges excluded).
 func (tr *Triest) EdgesSeen() uint64 { return tr.t }
+
+// EdgesRemoved returns the number of best-effort deletions applied.
+func (tr *Triest) EdgesRemoved() uint64 { return tr.removed }
 
 // ReservoirSize returns the current reservoir occupancy.
 func (tr *Triest) ReservoirSize() int { return len(tr.edges) }
 
-// AddEdge feeds one undirected edge. Self loops are ignored; the
-// stream is assumed edge-distinct (feed each undirected edge once).
+// ReservoirCap returns the configured reservoir capacity.
+func (tr *Triest) ReservoirCap() int { return tr.m }
+
+// MemoryBytes estimates the resident size of the reservoir and its
+// adjacency index.
+func (tr *Triest) MemoryBytes() int64 {
+	return int64(len(tr.edges)) * TriestBytesPerEdge
+}
+
+// effLen is the effective stream length for sampling and weighting:
+// the window size once the stream outgrows it, the stream length
+// before that.
+func (tr *Triest) effLen() uint64 {
+	if tr.window > 0 && tr.t > tr.window {
+		return tr.window
+	}
+	return tr.t
+}
+
+// wedgeWeight is the inverse probability that both edges of a wedge
+// closed at effective stream length w survived in a reservoir of m
+// edges: ((w-1)/m) * ((w-2)/(m-1)), floored at 1. m >= 2 keeps it
+// finite; NewTriest enforces that.
+func (tr *Triest) wedgeWeight() float64 {
+	w := float64(tr.effLen())
+	m := float64(tr.m)
+	if tr.effLen() <= uint64(tr.m) {
+		return 1
+	}
+	weight := ((w - 1) / m) * ((w - 2) / (m - 1))
+	if weight < 1 || math.IsInf(weight, 0) || math.IsNaN(weight) {
+		// The Inf/NaN guards are unreachable with m >= 2 but cheap:
+		// the serving layer's invariant is "finite, always".
+		return 1
+	}
+	return weight
+}
+
+func canonical(u, v uint32) [2]uint32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]uint32{u, v}
+}
+
+// AddEdge feeds one undirected edge. Self loops are ignored. An edge
+// already resident in the reservoir is ignored in either orientation
+// — AddEdge(v,u) after AddEdge(u,v) is a no-op — so duplicate-heavy
+// streams (serve-layer clients cannot be assumed edge-distinct) do
+// not double-count closed wedges or hold duplicate adjacency entries.
+// Duplicates of edges already evicted are indistinguishable from new
+// edges under bounded memory and are counted again; that residual
+// bias is inherent to any fixed-memory dedup.
 func (tr *Triest) AddEdge(u, v uint32) {
 	if u == v {
 		return
 	}
+	key := canonical(u, v)
+	if _, resident := tr.idx[key]; resident {
+		return
+	}
 	tr.t++
+	tr.expire()
 	// Count triangles closed by (u,v) inside the reservoir, scaled
-	// by the inverse sampling probability of a wedge at time t.
-	c := countSorted(tr.adj[u], tr.adj[v])
-	if c > 0 {
-		weight := 1.0
-		t := float64(tr.t)
-		m := float64(tr.m)
-		if tr.t > uint64(tr.m) {
-			weight = ((t - 1) / m) * ((t - 2) / (m - 1))
-			if weight < 1 {
-				weight = 1
-			}
-		}
-		tr.estimate += float64(c) * weight
+	// by the inverse sampling probability of a wedge at this point
+	// in the (effective) stream.
+	if c := countSorted(tr.adj[key[0]], tr.adj[key[1]]); c > 0 {
+		tr.estimate += float64(c) * tr.wedgeWeight()
 	}
 	// Reservoir sampling of the edge itself.
 	if len(tr.edges) < tr.m {
-		tr.insert(u, v)
+		tr.insert(key)
 		return
 	}
-	if tr.rng.Float64() < float64(tr.m)/float64(tr.t) {
+	if tr.rng.Float64() < float64(tr.m)/float64(tr.effLen()) {
 		i := tr.rng.Intn(len(tr.edges))
-		old := tr.edges[i]
-		tr.removeAdj(old[0], old[1])
-		tr.edges[i] = [2]uint32{u, v}
-		tr.addAdj(u, v)
+		tr.evict(i)
+		tr.insert(key)
 	}
 }
 
-func (tr *Triest) insert(u, v uint32) {
-	tr.edges = append(tr.edges, [2]uint32{u, v})
-	tr.addAdj(u, v)
+// RemoveEdge deletes an undirected edge from the stream,
+// best-effort: if the edge is resident, the triangles it currently
+// closes in the reservoir are subtracted at the current wedge weight
+// and the edge leaves the reservoir; if it is not resident (never
+// sampled, already evicted, or never seen) nothing can be known
+// about it under bounded memory and the call is a no-op. The
+// estimate never goes negative. Exactly compensated deletions
+// (TRIÈST-FD's random pairing) are future work.
+func (tr *Triest) RemoveEdge(u, v uint32) {
+	if u == v {
+		return
+	}
+	key := canonical(u, v)
+	i, resident := tr.idx[key]
+	if !resident {
+		return
+	}
+	tr.removed++
+	tr.subtractClosed(key)
+	tr.evict(i)
+}
+
+// subtractClosed subtracts the triangles the resident edge `key`
+// currently closes, clamping the estimate at zero.
+func (tr *Triest) subtractClosed(key [2]uint32) {
+	if c := countSorted(tr.adj[key[0]], tr.adj[key[1]]); c > 0 {
+		tr.estimate -= float64(c) * tr.wedgeWeight()
+		if tr.estimate < 0 {
+			tr.estimate = 0
+		}
+	}
+}
+
+// expire drops resident edges that fell out of the trailing window,
+// subtracting the triangles they still closed. The minTime gate
+// makes the scan amortized: it runs only when the oldest resident
+// edge has actually expired.
+func (tr *Triest) expire() {
+	if tr.window == 0 || tr.t <= tr.window || tr.minTime > tr.t-tr.window {
+		return
+	}
+	cutoff := tr.t - tr.window // arrival times <= cutoff are stale
+	newMin := uint64(math.MaxUint64)
+	for i := 0; i < len(tr.edges); {
+		if tr.times[i] <= cutoff {
+			tr.subtractClosed(tr.edges[i])
+			tr.evict(i)
+			continue // evict swapped the tail into slot i
+		}
+		if tr.times[i] < newMin {
+			newMin = tr.times[i]
+		}
+		i++
+	}
+	tr.minTime = newMin
+}
+
+func (tr *Triest) insert(key [2]uint32) {
+	if len(tr.edges) == 0 || tr.t < tr.minTime {
+		tr.minTime = tr.t
+	}
+	tr.idx[key] = len(tr.edges)
+	tr.edges = append(tr.edges, key)
+	tr.times = append(tr.times, tr.t)
+	tr.addAdj(key[0], key[1])
+}
+
+// evict removes reservoir slot i via swap-delete, keeping idx
+// consistent.
+func (tr *Triest) evict(i int) {
+	key := tr.edges[i]
+	last := len(tr.edges) - 1
+	tr.edges[i] = tr.edges[last]
+	tr.times[i] = tr.times[last]
+	tr.idx[tr.edges[i]] = i
+	tr.edges = tr.edges[:last]
+	tr.times = tr.times[:last]
+	delete(tr.idx, key)
+	tr.removeAdj(key[0], key[1])
+}
+
+// Variance returns an estimated upper bound on the estimator's
+// variance: Estimate * (ξ(t) - 1) with ξ(t) the TRIÈST-BASE scale
+// factor t(t-1)(t-2) / (m(m-1)(m-2)), floored at 1 (for m <= 2 the
+// m-2 term is replaced by 1 to stay finite). This is the first term
+// of De Stefani et al.'s variance bound; the dropped term counts
+// triangle pairs sharing an edge, which a bounded-memory counter
+// cannot track — ErrorBound's Chebyshev slack absorbs it in
+// practice.
+func (tr *Triest) Variance() float64 {
+	w := float64(tr.effLen())
+	m := float64(tr.m)
+	m2 := m - 2
+	if m2 < 1 {
+		m2 = 1
+	}
+	xi := (w / m) * ((w - 1) / (m - 1)) * ((w - 2) / m2)
+	if xi < 1 || math.IsNaN(xi) {
+		xi = 1
+	}
+	return tr.estimate * (xi - 1)
+}
+
+// ErrorBound returns the half-width of a Chebyshev confidence
+// interval around Estimate at the given confidence level in (0, 1):
+// P(|Estimate - T| > bound) <= 1 - confidence. It is zero exactly
+// when the estimator is running exact (reservoir never overflowed),
+// and always finite.
+func (tr *Triest) ErrorBound(confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	v := tr.Variance()
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v / (1 - confidence))
 }
 
 func (tr *Triest) addAdj(u, v uint32) {
@@ -92,7 +323,13 @@ func (tr *Triest) addAdj(u, v uint32) {
 
 func (tr *Triest) removeAdj(u, v uint32) {
 	tr.adj[u] = removeSorted(tr.adj[u], v)
+	if len(tr.adj[u]) == 0 {
+		delete(tr.adj, u)
+	}
 	tr.adj[v] = removeSorted(tr.adj[v], u)
+	if len(tr.adj[v]) == 0 {
+		delete(tr.adj, v)
+	}
 }
 
 func insertSorted(s []uint32, x uint32) []uint32 {

@@ -72,7 +72,7 @@ func TestTriestBoundedMemory(t *testing.T) {
 }
 
 func TestTriestDegenerate(t *testing.T) {
-	tr := NewTriest(0, 1) // clamps to 1
+	tr := NewTriest(0, 1) // clamps to the minimum legal reservoir
 	tr.AddEdge(1, 1)      // self loop ignored
 	if tr.EdgesSeen() != 0 {
 		t.Fatal("self loop counted")
@@ -82,5 +82,163 @@ func TestTriestDegenerate(t *testing.T) {
 	tr.AddEdge(2, 0)
 	if tr.Estimate() < 0 {
 		t.Fatal("negative estimate")
+	}
+}
+
+// TestTriestM1Finite is the regression test for the m=1
+// divide-by-zero: before the m >= 2 clamp, the wedge weight
+// ((t-1)/m)*((t-2)/(m-1)) divided by zero at m=1, yielding +Inf for
+// t > 2 and NaN at t=2 (0 * Inf). The estimate must stay finite and
+// non-negative for every reservoir size a caller can request.
+func TestTriestM1Finite(t *testing.T) {
+	for _, m := range []int{-3, 0, 1, 2, 3} {
+		tr := NewTriest(m, 7)
+		if tr.ReservoirCap() < 2 {
+			t.Fatalf("NewTriest(%d) reservoir cap %d, want >= 2", m, tr.ReservoirCap())
+		}
+		// A dense little graph so wedges actually close at small t.
+		g := gen.Complete(12)
+		for _, e := range g.Edges() {
+			tr.AddEdge(e.U, e.V)
+			if est := tr.Estimate(); math.IsInf(est, 0) || math.IsNaN(est) || est < 0 {
+				t.Fatalf("m=%d after %d edges: estimate %v not finite/non-negative", m, tr.EdgesSeen(), est)
+			}
+			if v := tr.Variance(); math.IsInf(v, 0) || math.IsNaN(v) || v < 0 {
+				t.Fatalf("m=%d: variance %v not finite/non-negative", m, v)
+			}
+			if b := tr.ErrorBound(0.95); math.IsInf(b, 0) || math.IsNaN(b) || b < 0 {
+				t.Fatalf("m=%d: error bound %v not finite/non-negative", m, b)
+			}
+		}
+	}
+}
+
+// TestTriestDuplicateEdges is the regression test for duplicate-edge
+// inflation: a repeated (u,v) — in either orientation — used to enter
+// the reservoir twice and add duplicate adjacency entries, double-
+// counting every wedge it participated in. With a large reservoir the
+// estimate over a duplicate-heavy stream must equal the exact count
+// of the underlying simple graph.
+func TestTriestDuplicateEdges(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 2))
+	want := float64(baseline.BruteForce(g))
+	tr := NewTriest(3*int(g.NumEdges()), 1)
+	for _, e := range g.Edges() {
+		tr.AddEdge(e.U, e.V)
+		tr.AddEdge(e.U, e.V) // exact duplicate
+		tr.AddEdge(e.V, e.U) // reversed duplicate
+	}
+	if got := tr.Estimate(); got != want {
+		t.Fatalf("estimate %v over duplicate-heavy stream, want exact %v", got, want)
+	}
+	if tr.EdgesSeen() != uint64(g.NumEdges()) {
+		t.Fatalf("duplicates counted into the stream length: t=%d, want %d", tr.EdgesSeen(), g.NumEdges())
+	}
+	if tr.ReservoirSize() != int(g.NumEdges()) {
+		t.Fatalf("reservoir holds %d edges, want %d (duplicates entered)", tr.ReservoirSize(), g.NumEdges())
+	}
+}
+
+// TestTriestErrorBoundCoverage checks the acceptance contract the
+// serving layer reports to clients: over repeated runs, the exact
+// count falls within Estimate ± ErrorBound(0.95) at least 95% of the
+// time (Chebyshev makes the bound conservative, so empirically the
+// coverage should be essentially total).
+func TestTriestErrorBoundCoverage(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 10, 3))
+	truth := float64(baseline.Forward(g, pool, baseline.KernelMerge))
+	edges := g.Edges()
+	m := len(edges) / 4
+	const runs = 20
+	covered := 0
+	for seed := int64(0); seed < runs; seed++ {
+		tr := NewTriest(m, seed)
+		rng := rand.New(rand.NewSource(seed + 500))
+		perm := rng.Perm(len(edges))
+		for _, i := range perm {
+			tr.AddEdge(edges[i].U, edges[i].V)
+		}
+		bound := tr.ErrorBound(0.95)
+		if math.IsInf(bound, 0) || math.IsNaN(bound) {
+			t.Fatalf("seed %d: non-finite error bound %v", seed, bound)
+		}
+		if math.Abs(tr.Estimate()-truth) <= bound {
+			covered++
+		}
+	}
+	if covered < runs*95/100 {
+		t.Fatalf("error bound covered the truth in %d/%d runs, want >= 95%%", covered, runs)
+	}
+}
+
+// TestTriestRemoveEdge: removing a resident edge subtracts the
+// triangles it closes; with a reservoir that never overflows,
+// add-then-remove returns the estimate to the exact count of the
+// remaining graph.
+func TestTriestRemoveEdge(t *testing.T) {
+	tr := NewTriest(100, 1)
+	// Two triangles sharing edge (0,1): {0,1,2} and {0,1,3}.
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 0}} {
+		tr.AddEdge(e[0], e[1])
+	}
+	if tr.Estimate() != 2 {
+		t.Fatalf("estimate %v, want 2", tr.Estimate())
+	}
+	tr.RemoveEdge(2, 0) // destroys {0,1,2}
+	if tr.Estimate() != 1 {
+		t.Fatalf("after remove: estimate %v, want 1", tr.Estimate())
+	}
+	tr.RemoveEdge(1, 0) // destroys {0,1,3}; reversed orientation on purpose
+	if tr.Estimate() != 0 {
+		t.Fatalf("after removing shared edge: estimate %v, want 0", tr.Estimate())
+	}
+	if tr.EdgesRemoved() != 2 {
+		t.Fatalf("EdgesRemoved %d, want 2", tr.EdgesRemoved())
+	}
+	tr.RemoveEdge(5, 6) // never seen: no-op, no panic, no negative drift
+	if tr.Estimate() != 0 {
+		t.Fatalf("unknown removal changed the estimate to %v", tr.Estimate())
+	}
+}
+
+// TestTriestWindowExact: with m >= window the windowed counter is an
+// exact sliding-window triangle count — triangles fade out once one
+// of their edges leaves the trailing window.
+func TestTriestWindowExact(t *testing.T) {
+	const window = 8
+	tr := NewTriestWindow(64, window, 1)
+	tr.AddEdge(0, 1)
+	tr.AddEdge(1, 2)
+	tr.AddEdge(2, 0)
+	if tr.Estimate() != 1 {
+		t.Fatalf("estimate %v after closing a triangle, want 1", tr.Estimate())
+	}
+	// Push the triangle's edges out of the window with triangle-free
+	// filler (a star closes nothing).
+	for i := uint32(0); i < 2*window; i++ {
+		tr.AddEdge(100, 200+i)
+	}
+	if tr.Estimate() != 0 {
+		t.Fatalf("estimate %v after the triangle left the window, want 0", tr.Estimate())
+	}
+	if tr.ReservoirSize() > window {
+		t.Fatalf("windowed reservoir holds %d edges, want <= %d", tr.ReservoirSize(), window)
+	}
+}
+
+// TestTriestMemoryBudget: ReservoirForBudget sizes a reservoir whose
+// MemoryBytes never exceeds the budget it was derived from.
+func TestTriestMemoryBudget(t *testing.T) {
+	const budget = 1 << 16
+	tr := NewTriest(ReservoirForBudget(budget), 3)
+	g := gen.RMAT(gen.DefaultRMAT(11, 8, 4))
+	for _, e := range g.Edges() {
+		tr.AddEdge(e.U, e.V)
+	}
+	if got := tr.MemoryBytes(); got > budget {
+		t.Fatalf("MemoryBytes %d exceeds budget %d", got, budget)
+	}
+	if tr.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not accounting anything")
 	}
 }

@@ -49,7 +49,18 @@ type Streaming struct {
 	// snapshot; once ingest quiesces the counts are exact.
 	hhh, hhn, hnn, nnn atomic.Uint64
 	edges              atomic.Uint64
+
+	// Memory accounting. baseBytes is the fixed construction cost;
+	// adjBytes tracks the growing adjacency entries (atomic for the
+	// same reason as the counters: a resident service polls
+	// MemoryBytes to enforce per-session budgets while ingest runs).
+	baseBytes int64
+	adjBytes  atomic.Int64
 }
+
+// streamAdjEntryBytes is the estimated resident cost of one
+// adjacency entry: 4 bytes of payload plus append growth slack.
+const streamAdjEntryBytes = 8
 
 // NewStreaming creates a streaming counter over a universe of n
 // vertices with the given hub IDs. Every hub ID must be a distinct
@@ -85,7 +96,58 @@ func NewStreaming(n int, hubIDs []uint32) (*Streaming, error) {
 	for i := range s.h2h {
 		s.h2h[i] = make([]uint64, s.words)
 	}
+	// Fixed footprint: hubIdx (4/vertex), the two per-vertex slice
+	// headers (24 each), the H2H bit matrix and the hub reverse table.
+	s.baseBytes = 4*int64(n) + 48*int64(n) +
+		int64(len(hubIDs))*(8*int64(s.words)+24) + 4*int64(len(hubIDs))
 	return s, nil
+}
+
+// MemoryBytes estimates the counter's resident size: the fixed
+// construction footprint (vertex tables + H2H bit matrix) plus the
+// adjacency entries accumulated by ingest. Safe to call concurrently
+// with ingest; the serving layer polls it to enforce per-session
+// memory budgets.
+func (s *Streaming) MemoryBytes() int64 {
+	return s.baseBytes + s.adjBytes.Load()
+}
+
+// ForEachEdge calls fn once per edge currently in the counter, in
+// unspecified order. It reads the adjacency structures directly, so
+// it must not run concurrently with AddEdge/RemoveEdge (same
+// single-writer contract as ingest). The serving layer uses it to
+// migrate a session's exact state into a bounded-memory estimator
+// when the session outgrows its budget.
+func (s *Streaming) ForEachEdge(fn func(u, v uint32)) {
+	// Hub–hub edges: the upper triangle of the H2H bit matrix.
+	for a := 0; a < s.hubs; a++ {
+		row := s.h2h[a]
+		for b := a + 1; b < s.hubs; b++ {
+			if row[b>>6]&(1<<(uint(b)&63)) != 0 {
+				fn(s.hubVertex[a], s.hubVertex[b])
+			}
+		}
+	}
+	// Hub–non-hub edges: stored once, under the hub's vertex slot.
+	for a := 0; a < s.hubs; a++ {
+		hv := s.hubVertex[a]
+		for _, x := range s.nonHubNbrs[hv] {
+			fn(hv, x)
+		}
+	}
+	// Non-hub–non-hub edges: stored in both endpoints' lists; emit
+	// each once via x < y, skipping hub slots (their nonHubNbrs hold
+	// hub–non-hub edges, already emitted above).
+	for x := range s.nonHubNbrs {
+		if s.hubIdx[x] >= 0 {
+			continue
+		}
+		for _, y := range s.nonHubNbrs[x] {
+			if uint32(x) < y {
+				fn(uint32(x), y)
+			}
+		}
+	}
 }
 
 // NumVertices returns the size of the vertex universe.
@@ -190,6 +252,7 @@ func (s *Streaming) addHubNonHub(h int32, x uint32) uint64 {
 	closed += hnn
 	insertI32(&s.hubNbrs[x], h)
 	insertU32(&s.nonHubNbrs[hv], x)
+	s.adjBytes.Add(2 * streamAdjEntryBytes)
 	s.edges.Add(1)
 	return closed
 }
@@ -206,6 +269,7 @@ func (s *Streaming) addNonHubNonHub(x, y uint32) uint64 {
 	}
 	insertU32(&s.nonHubNbrs[x], y)
 	insertU32(&s.nonHubNbrs[y], x)
+	s.adjBytes.Add(2 * streamAdjEntryBytes)
 	s.edges.Add(1)
 	return closed
 }
@@ -266,6 +330,7 @@ func (s *Streaming) removeHubNonHub(h int32, x uint32) uint64 {
 	}
 	removeI32(&s.hubNbrs[x], h)
 	removeU32(&s.nonHubNbrs[hv], x)
+	s.adjBytes.Add(-2 * streamAdjEntryBytes)
 	var destroyed uint64
 	for _, h2 := range s.hubNbrs[x] {
 		if s.h2hHas(h, h2) {
@@ -286,6 +351,7 @@ func (s *Streaming) removeNonHubNonHub(x, y uint32) uint64 {
 	}
 	removeU32(&s.nonHubNbrs[x], y)
 	removeU32(&s.nonHubNbrs[y], x)
+	s.adjBytes.Add(-2 * streamAdjEntryBytes)
 	destroyed := intersectSortedI32(s.hubNbrs[x], s.hubNbrs[y])
 	s.hnn.Add(negU64(destroyed))
 	if s.CountNonHub {

@@ -2,8 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
+	"lotustc/internal/approx"
+	"lotustc/internal/core"
 	"lotustc/internal/engine"
+	"lotustc/internal/graph"
 	"lotustc/internal/obs"
 )
 
@@ -107,5 +112,82 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 			oneRun("lotus-sharded", v.label, v.params)
 		}
 	}
+	// Streaming-ingest throughput rows (edges/sec, exact vs approx) on
+	// the first dataset only: the point is tracking the serving stream
+	// path's ingest rate across PRs, not another full sweep.
+	if ds := s.Datasets(); len(ds) > 0 && s.Context().Err() == nil {
+		streamIngestRuns(br, ds[0], ds[0].Build())
+	}
 	return br
+}
+
+// streamIngestRuns appends two streaming-ingest rows for one dataset:
+// the exact core.Streaming counter (top-degree hubs, NNN counting on)
+// and the Triest estimator at a 1 MiB budget, each timed over a full
+// single-threaded edge replay. Metrics carry stream.edges_per_sec and
+// the resident footprint so BENCH artifacts diff both across PRs.
+func streamIngestRuns(br *obs.BenchReport, d Dataset, g *graph.Graph) {
+	edges := g.Edges()
+	row := func(label string, triangles uint64, elapsed time.Duration, metrics map[string]int64) {
+		if elapsed > 0 {
+			metrics["stream.edges_per_sec"] = int64(float64(len(edges)) / elapsed.Seconds())
+		}
+		br.Runs = append(br.Runs, obs.RunReport{
+			Schema:    obs.SchemaRun,
+			Tool:      br.Tool,
+			Timestamp: br.Timestamp,
+			Env:       br.Env,
+			Graph:     obs.GraphInfo{Source: d.Name, Vertices: int64(g.NumVertices()), Edges: g.NumEdges()},
+			Algorithm: label,
+			Workers:   1,
+			Triangles: triangles,
+			ElapsedNS: elapsed.Nanoseconds(),
+			Metrics:   metrics,
+		})
+	}
+
+	hubs := topDegreeHubs(g, core.Options{}.EffectiveHubCount(g.NumVertices()))
+	if sc, err := core.NewStreaming(g.NumVertices(), hubs); err == nil {
+		sc.CountNonHub = true
+		start := time.Now()
+		for _, e := range edges {
+			sc.AddEdge(e.U, e.V)
+		}
+		elapsed := time.Since(start)
+		hhh, hhn, hnn, nnn := sc.Classes()
+		row("stream-ingest/exact", hhh+hhn+hnn+nnn, elapsed,
+			map[string]int64{"stream.memory_bytes": sc.MemoryBytes()})
+	}
+
+	const budget = 1 << 20
+	tr := approx.NewTriest(approx.ReservoirForBudget(budget), 42)
+	start := time.Now()
+	for _, e := range edges {
+		tr.AddEdge(e.U, e.V)
+	}
+	elapsed := time.Since(start)
+	row("stream-ingest/approx", uint64(tr.Estimate()), elapsed, map[string]int64{
+		"stream.memory_bytes": tr.MemoryBytes(),
+		"stream.error_bound":  int64(tr.ErrorBound(0.95)),
+	})
+}
+
+// topDegreeHubs picks the k highest-degree vertex IDs — the hub
+// choice the streaming counter's H2H bit matrix is designed around.
+func topDegreeHubs(g *graph.Graph, k int) []uint32 {
+	deg := g.Degrees()
+	ids := make([]uint32, len(deg))
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if deg[ids[a]] != deg[ids[b]] {
+			return deg[ids[a]] > deg[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
 }

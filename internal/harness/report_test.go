@@ -53,7 +53,9 @@ func TestBuildBenchReport(t *testing.T) {
 	if br.Schema != obs.SchemaBench || br.Suite != "scale-9/ef-8" {
 		t.Fatalf("bad envelope: %+v", br)
 	}
-	wantRuns := len(s.Datasets()) * (len(BenchAlgorithms) + len(benchKernelVariants) + len(benchShardVariants))
+	// +2: the streaming-ingest throughput rows (exact and approx) on
+	// the first dataset.
+	wantRuns := len(s.Datasets())*(len(BenchAlgorithms)+len(benchKernelVariants)+len(benchShardVariants)) + 2
 	if len(br.Runs) != wantRuns {
 		t.Fatalf("got %d runs, want %d", len(br.Runs), wantRuns)
 	}
@@ -85,8 +87,18 @@ func TestBuildBenchReport(t *testing.T) {
 		t.Fatalf("got %d sharded runs, want %d", shardRuns, want)
 	}
 	// Per dataset, every comparator must agree on the triangle count.
+	// The streaming-ingest rows have their own contract: the exact row
+	// matches the comparators, the approx row is an estimate.
 	counts := map[string]uint64{}
+	streamRows := 0
 	for _, r := range br.Runs {
+		if strings.HasPrefix(r.Algorithm, "stream-ingest/") {
+			streamRows++
+			if r.Metrics["stream.edges_per_sec"] <= 0 || r.Metrics["stream.memory_bytes"] <= 0 {
+				t.Fatalf("%s/%s: ingest instrumentation missing: %v", r.Graph.Source, r.Algorithm, r.Metrics)
+			}
+			continue
+		}
 		if r.Error != "" {
 			t.Fatalf("%s/%s failed: %s", r.Graph.Source, r.Algorithm, r.Error)
 		}
@@ -107,6 +119,23 @@ func TestBuildBenchReport(t *testing.T) {
 			}
 			if _, ok := r.Metrics["phase1.h2h_probes"]; !ok {
 				t.Fatalf("%s: lotus metrics missing phase1.h2h_probes", r.Graph.Source)
+			}
+		}
+	}
+	if streamRows != 2 {
+		t.Fatalf("got %d stream-ingest rows, want 2", streamRows)
+	}
+	// The exact ingest row replays the whole edge stream through the
+	// streaming counter with NNN counting on: it must reproduce the
+	// comparators' triangle count for its dataset bit-for-bit.
+	first := s.Datasets()[0].Name
+	for _, r := range br.Runs {
+		if r.Algorithm == "stream-ingest/exact" {
+			if r.Graph.Source != first {
+				t.Fatalf("stream-ingest rows on %s, want first dataset %s", r.Graph.Source, first)
+			}
+			if r.Triangles != counts[first] {
+				t.Fatalf("stream-ingest/exact counted %d, comparators %d", r.Triangles, counts[first])
 			}
 		}
 	}

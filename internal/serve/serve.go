@@ -70,6 +70,13 @@ type Config struct {
 	MaxStreamVertices int // vertex universe per session (default 2^22)
 	MaxStreamHubs     int // hubs per session (default 2^14)
 	MaxStreamBatch    int // edges per ingest request (default 2^20)
+	// MaxStreamBytes caps one stream session's resident bytes
+	// (default 256 MiB). Exact sessions that cross it refuse further
+	// ingest; auto sessions degrade to the bounded-memory estimator.
+	MaxStreamBytes int64
+	// DefaultStreamMode applies when a create request names no mode:
+	// "exact", "approx" or "auto" (default "exact").
+	DefaultStreamMode string
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +112,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStreamBatch <= 0 {
 		c.MaxStreamBatch = 1 << 20
+	}
+	if c.MaxStreamBytes <= 0 {
+		c.MaxStreamBytes = 256 << 20
+	}
+	if c.DefaultStreamMode == "" {
+		c.DefaultStreamMode = "exact"
 	}
 	return c
 }
@@ -355,15 +368,17 @@ func estimateLotusBytes(g *graph.Graph, hubCount int) int64 {
 
 // autoGrid picks the smallest grid dimension whose per-shard
 // structures fit the single-structure budget, clamped to [2, 16].
-func autoGrid(estBytes, maxBytes int64) int {
-	p := int((estBytes + maxBytes - 1) / maxBytes)
+// clamped reports that the upper clamp fired: even 16 shards are not
+// estimated to fit the budget, so residency is no longer guaranteed.
+func autoGrid(estBytes, maxBytes int64) (p int, clamped bool) {
+	p = int((estBytes + maxBytes - 1) / maxBytes)
 	if p < 2 {
 		p = 2
 	}
 	if p > 16 {
-		p = 16
+		return 16, true
 	}
-	return p
+	return p, false
 }
 
 // shardPlanKey / shardKey are the sharded structure cache keys: the
@@ -472,11 +487,14 @@ type CountRequest struct {
 	NoCache bool `json:"no_cache,omitempty"`
 }
 
-// CacheInfo reports which cache layers served a request.
+// CacheInfo reports which cache layers served a request, plus any
+// serving-quality warning (e.g. the auto shard grid was clamped, so
+// per-shard structures may overrun the single-structure budget).
 type CacheInfo struct {
-	Graph  bool `json:"graph_hit"`
-	Lotus  bool `json:"lotus_hit"`
-	Result bool `json:"result_hit"`
+	Graph   bool   `json:"graph_hit"`
+	Lotus   bool   `json:"lotus_hit"`
+	Result  bool   `json:"result_hit"`
+	Warning string `json:"warning,omitempty"`
 }
 
 // CountResponse is the run report plus cache provenance.
@@ -521,7 +539,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		if ok {
 			s.met.Add("result.hits", 1)
 			resp := *(v.(*CountResponse))
-			resp.Cache = CacheInfo{Graph: true, Lotus: true, Result: true}
+			resp.Cache = CacheInfo{Graph: true, Lotus: true, Result: true, Warning: resp.Cache.Warning}
 			writeJSON(w, http.StatusOK, &resp)
 			return
 		}
@@ -542,11 +560,30 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	// monolithic structure bigger than the single-structure budget can
 	// never be cached, but p per-shard structures each 1/p the size
 	// can.
+	var cacheWarning string
 	if algo == "lotus" && !g.Oriented {
 		if est := estimateLotusBytes(g, req.HubCount); est > s.cfg.MaxStructureBytes {
 			algo = "lotus-sharded"
 			if shards == 0 {
-				shards = autoGrid(est, s.cfg.MaxStructureBytes)
+				var clamped bool
+				shards, clamped = autoGrid(est, s.cfg.MaxStructureBytes)
+				if clamped {
+					// Even the largest grid can't honor the budget. The
+					// estimate is an upper bound and per-shard H2H shrinks
+					// quadratically with p, so allow 2x slack per shard
+					// before refusing outright; inside the slack, serve
+					// but say so instead of silently overrunning.
+					if est/16 > 2*s.cfg.MaxStructureBytes {
+						s.met.Add("serve.shard_clamp", 1)
+						writeErr(w, http.StatusRequestEntityTooLarge, "structure_too_large",
+							fmt.Sprintf("estimated structure size %d exceeds -max-structure-bytes %d even at 16 shards; raise the budget or pass an explicit shards count",
+								est, s.cfg.MaxStructureBytes))
+						return
+					}
+					s.met.Add("serve.shard_clamp", 1)
+					cacheWarning = fmt.Sprintf("auto shard grid clamped to 16: estimated per-shard size %d exceeds max_structure_bytes %d; shards may not stay cache-resident",
+						(est+15)/16, s.cfg.MaxStructureBytes)
+				}
 			}
 			s.met.Add("serve.sharded_routed", 1)
 		}
@@ -614,7 +651,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if algo == "lotus" || algo == "lotus-recursive" || algo == "lotus-sharded" {
 		rr.Classes = &obs.Classes{HHH: rep.HHH, HHN: rep.HHN, HNN: rep.HNN, NNN: rep.NNN}
 	}
-	resp := &CountResponse{RunReport: *rr, Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit}}
+	resp := &CountResponse{RunReport: *rr, Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit, Warning: cacheWarning}}
 	if useResultCache {
 		s.resMu.Lock()
 		s.results.add(resultKey, resp, 1)

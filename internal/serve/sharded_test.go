@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -97,7 +98,7 @@ func TestShardedRoutingServesOversizedGraph(t *testing.T) {
 	// at least the hottest of them must be resident after the count.
 	// (Their total still exceeds the budget — the LRU keeps the warm
 	// tail, not all p of them.)
-	p := autoGrid(estimateLotusBytes(g, 0), srv.cfg.MaxStructureBytes)
+	p, _ := autoGrid(estimateLotusBytes(g, 0), srv.cfg.MaxStructureBytes)
 	resident := 0
 	for b := 0; b < p; b++ {
 		if srv.cache.peek(shardKey(&spec, 0, 0, p, b)) {
@@ -216,5 +217,70 @@ func TestCorruptPreparedEntriesEvictedAndRetried(t *testing.T) {
 	}
 	if srv.Metrics().Get("cache.corrupt_evictions") <= before {
 		t.Fatal("corrupt shard entries were not evicted")
+	}
+}
+
+// TestShardClampWarnsAndRefuses: when the auto shard grid hits its
+// p=16 clamp the response carries a cache-info warning and the
+// serve.shard_clamp metric ticks (the clamp used to be silent); when
+// even 16 shards are hopelessly over budget the request is refused
+// with 413 structure_too_large instead of thrashing the cache.
+func TestShardClampWarnsAndRefuses(t *testing.T) {
+	g := gen.RMAT(gen.RMATParams{Scale: 10, EdgeFactor: 8, Seed: 7, A: 0.57, B: 0.19, C: 0.19, Noise: 0.05})
+	est := estimateLotusBytes(g, 0)
+
+	// Budget in [est/32, est/16): autoGrid wants p>16, but the 2x
+	// per-shard slack still admits the request -> warning branch.
+	srv, ts := newTestServer(t, Config{MaxStructureBytes: est / 20})
+	want, err := engine.Run(context.Background(), g, engine.Spec{Algorithm: "lotus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"graph": {"type": "rmat", "scale": 10, "edge_factor": 8, "seed": 7}}`
+	status, raw := postJSON(t, ts.URL+"/v1/count", body)
+	if status != http.StatusOK {
+		t.Fatalf("clamped count: status %d: %s", status, raw)
+	}
+	resp := decodeCount(t, raw)
+	if resp.Algorithm != "lotus-sharded" || resp.Triangles != want.Triangles {
+		t.Fatalf("clamped count wrong: algo %q triangles %d, want lotus-sharded %d",
+			resp.Algorithm, resp.Triangles, want.Triangles)
+	}
+	if resp.Cache.Warning == "" {
+		t.Fatal("clamped auto grid produced no cache-info warning")
+	}
+	if got := srv.Metrics().Get("serve.shard_clamp"); got != 1 {
+		t.Fatalf("serve.shard_clamp = %d, want 1", got)
+	}
+	// The warning must survive a result-cache hit.
+	status, raw = postJSON(t, ts.URL+"/v1/count", body)
+	if status != http.StatusOK {
+		t.Fatalf("warm clamped count: status %d: %s", status, raw)
+	}
+	if resp = decodeCount(t, raw); !resp.Cache.Result || resp.Cache.Warning == "" {
+		t.Fatalf("result-cache hit dropped the clamp warning: %+v", resp.Cache)
+	}
+
+	// Budget below est/32: even 16 shards blow the budget -> 413.
+	srv2, ts2 := newTestServer(t, Config{MaxStructureBytes: est / 64})
+	status, raw = postJSON(t, ts2.URL+"/v1/count", body)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("hopeless clamp: status %d, want 413: %s", status, raw)
+	}
+	if !bytes.Contains(raw, []byte("structure_too_large")) {
+		t.Fatalf("hopeless clamp error body: %s", raw)
+	}
+	if got := srv2.Metrics().Get("serve.shard_clamp"); got != 1 {
+		t.Fatalf("serve.shard_clamp = %d, want 1", got)
+	}
+	// An explicit shards count side-steps the refusal: the caller has
+	// taken responsibility for residency.
+	status, raw = postJSON(t, ts2.URL+"/v1/count",
+		`{"graph": {"type": "rmat", "scale": 10, "edge_factor": 8, "seed": 7}, "shards": 4, "no_cache": true}`)
+	if status != http.StatusOK {
+		t.Fatalf("explicit shards: status %d: %s", status, raw)
+	}
+	if resp = decodeCount(t, raw); resp.Triangles != want.Triangles {
+		t.Fatalf("explicit shards count %d, want %d", resp.Triangles, want.Triangles)
 	}
 }

@@ -3,22 +3,84 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"lotustc/internal/approx"
 	"lotustc/internal/core"
 	"lotustc/internal/obs"
+	"lotustc/internal/sched"
 )
 
-// streamSession is one live streaming-ingest counter. Ingest mutates
-// adjacency structures and is serialized under mu (single-writer
-// contract of core.Streaming); the class counters are atomics, so
-// GET reads them lock-free while a batch is mid-ingest.
-type streamSession struct {
-	id string
+// streamConfidence is the confidence level of the error bounds
+// reported by approximate sessions.
+const streamConfidence = 0.95
 
-	mu sync.Mutex // serializes AddEdge/RemoveEdge
-	sc *core.Streaming
+// streamSession is one live streaming-ingest counter, in one of two
+// runtime states:
+//
+//   - exact: `sc` holds the core.Streaming counter (full per-vertex
+//     adjacency, exact per-class counts). Its atomics make GET
+//     lock-free while ingest runs.
+//   - approx: `tr` holds a fixed-memory Triest reservoir. Triest has
+//     no atomic counters, so after every batch the writer publishes
+//     an immutable snapshot into `snap`; GET reads the latest
+//     snapshot lock-free, one batch stale at worst — the same
+//     monotone-snapshot contract the exact atomics give.
+//
+// Sessions created in "auto" mode start exact and degrade to approx
+// when their resident bytes cross the session budget; `sc` is an
+// atomic pointer so the flip is safe against concurrent GETs (a
+// straggler holding the old counter reads stale-but-consistent
+// atomics until it drops the reference).
+//
+// Ingest mutates counter structures and is serialized under mu — the
+// single-writer contract of both core.Streaming and approx.Triest.
+type streamSession struct {
+	id     string
+	mode   string // configured: "exact" | "approx" | "auto"
+	auto   bool
+	budget int64 // resident-byte budget for this session
+
+	mu sync.Mutex // serializes ingest and the exact->approx flip
+	sc atomic.Pointer[core.Streaming]
+	tr *approx.Triest // guarded by mu; non-nil once approx
+
+	// degradeSeed/degradeWindow carry the estimator knobs an auto
+	// session applies if it later degrades.
+	degradeSeed   int64
+	degradeWindow uint64
+
+	snap     atomic.Pointer[approxSnapshot]
+	degraded atomic.Bool
+}
+
+// approxSnapshot is the immutable post-batch state of an approx
+// session, published for lock-free GET.
+type approxSnapshot struct {
+	estimate   float64
+	errorBound float64
+	edgesSeen  uint64
+	removed    uint64
+	reservoir  int
+	resCap     int
+	memBytes   int64
+}
+
+// publishSnapLocked snapshots tr for lock-free readers. Caller holds
+// mu.
+func (ss *streamSession) publishSnapLocked() {
+	tr := ss.tr
+	ss.snap.Store(&approxSnapshot{
+		estimate:   tr.Estimate(),
+		errorBound: tr.ErrorBound(streamConfidence),
+		edgesSeen:  tr.EdgesSeen(),
+		removed:    tr.EdgesRemoved(),
+		reservoir:  tr.ReservoirSize(),
+		resCap:     tr.ReservoirCap(),
+		memBytes:   tr.MemoryBytes(),
+	})
 }
 
 // streamRegistry holds the live sessions, bounded by Config.MaxStreams
@@ -41,16 +103,17 @@ func (r *streamRegistry) len() int {
 	return len(r.sessions)
 }
 
-func (r *streamRegistry) create(sc *core.Streaming) (*streamSession, error) {
+// add registers a prepared session under a fresh ID.
+func (r *streamRegistry) add(ss *streamSession) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.sessions) >= r.max {
-		return nil, fmt.Errorf("stream session limit reached (%d live)", r.max)
+		return fmt.Errorf("stream session limit reached (%d live)", r.max)
 	}
-	ss := &streamSession{id: fmt.Sprintf("s%d", r.nextID.Add(1)), sc: sc}
+	ss.id = fmt.Sprintf("s%d", r.nextID.Add(1))
 	r.sessions[ss.id] = ss
 	r.met.Add("stream.created", 1)
-	return ss, nil
+	return nil
 }
 
 func (r *streamRegistry) get(id string) (*streamSession, bool) {
@@ -74,39 +137,112 @@ func (r *streamRegistry) delete(id string) bool {
 // ---------------------------------------------------------------
 // Handlers.
 
-// StreamCreateRequest opens a streaming session over a fixed vertex
-// universe with a designated hub set.
+// StreamCreateRequest opens a streaming session.
+//
+// Modes: "exact" keeps full adjacency and exact per-class counts and
+// refuses ingest once the session's resident bytes cross its budget;
+// "approx" runs a fixed-memory Triest reservoir sized to the budget
+// and reports estimates with error bounds; "auto" starts exact and
+// degrades to the estimator when the budget is crossed instead of
+// refusing. Empty mode takes the server default.
 type StreamCreateRequest struct {
-	Vertices int      `json:"vertices"`
-	Hubs     []uint32 `json:"hubs"`
+	// Vertices/Hubs define the exact counter's universe; required for
+	// exact and auto modes, ignored by approx (a reservoir needs no
+	// universe).
+	Vertices int      `json:"vertices,omitempty"`
+	Hubs     []uint32 `json:"hubs,omitempty"`
 	// CountNonHub additionally maintains NNN triangles (adjacency
 	// for every vertex, not just hubs).
 	CountNonHub bool `json:"count_non_hub,omitempty"`
+	// Mode: "exact" | "approx" | "auto" ("" = server default).
+	Mode string `json:"mode,omitempty"`
+	// BudgetBytes caps the session's resident memory (0 = the
+	// server-wide -max-stream-bytes; larger requests are clamped to
+	// it).
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// Window restricts approx estimates to the trailing `window`
+	// stream edges (0 = whole stream). Approx/auto only.
+	Window uint64 `json:"window,omitempty"`
+	// Seed makes approx sampling reproducible (0 = derived from the
+	// session ID).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // StreamState is the lock-free snapshot of a session's counters.
+// Estimate/ErrorBound are always populated: an exact session reports
+// its exact total with a zero bound, so auto-mode clients read
+// `estimate ± error_bound` without caring whether degradation has
+// happened (the `approx` and `degraded` flags say so explicitly).
 type StreamState struct {
-	ID           string `json:"id"`
-	Vertices     int    `json:"vertices"`
-	Hubs         int    `json:"hubs"`
+	ID   string `json:"id"`
+	Mode string `json:"mode"`
+	// Approx reports that counts are estimates; Degraded that an auto
+	// session crossed its budget and switched. OverBudget flags an
+	// exact session that outgrew its budget (its ingest now refused).
+	Approx     bool `json:"approx"`
+	Degraded   bool `json:"degraded,omitempty"`
+	OverBudget bool `json:"over_budget,omitempty"`
+
+	Vertices     int    `json:"vertices,omitempty"`
+	Hubs         int    `json:"hubs,omitempty"`
 	Edges        uint64 `json:"edges"`
 	HubTriangles uint64 `json:"hub_triangles"`
 	HHH          uint64 `json:"hhh"`
 	HHN          uint64 `json:"hhn"`
 	HNN          uint64 `json:"hnn"`
 	NNN          uint64 `json:"nnn"`
+
+	Estimate   float64 `json:"estimate"`
+	ErrorBound float64 `json:"error_bound"`
+	Confidence float64 `json:"confidence"`
+
+	ReservoirEdges int    `json:"reservoir_edges,omitempty"`
+	ReservoirCap   int    `json:"reservoir_cap,omitempty"`
+	EdgesRemoved   uint64 `json:"edges_removed,omitempty"`
+	MemoryBytes    int64  `json:"memory_bytes"`
+	BudgetBytes    int64  `json:"budget_bytes"`
 }
 
 func streamState(ss *streamSession) *StreamState {
-	hhh, hhn, hnn, nnn := ss.sc.Classes()
-	return &StreamState{
-		ID:           ss.id,
-		Vertices:     ss.sc.NumVertices(),
-		Hubs:         ss.sc.NumHubs(),
-		Edges:        ss.sc.Edges(),
-		HubTriangles: ss.sc.HubTriangles(),
-		HHH:          hhh, HHN: hhn, HNN: hnn, NNN: nnn,
+	st := &StreamState{
+		ID:          ss.id,
+		Mode:        ss.mode,
+		Confidence:  streamConfidence,
+		BudgetBytes: ss.budget,
 	}
+	if sc := ss.sc.Load(); sc != nil {
+		hhh, hhn, hnn, nnn := sc.Classes()
+		st.Vertices = sc.NumVertices()
+		st.Hubs = sc.NumHubs()
+		st.Edges = sc.Edges()
+		st.HubTriangles = sc.HubTriangles()
+		st.HHH, st.HHN, st.HNN, st.NNN = hhh, hhn, hnn, nnn
+		st.Estimate = float64(st.HubTriangles + nnn)
+		st.MemoryBytes = sc.MemoryBytes()
+		st.OverBudget = !ss.auto && st.MemoryBytes > ss.budget
+		return st
+	}
+	st.Approx = true
+	st.Degraded = ss.degraded.Load()
+	if sn := ss.snap.Load(); sn != nil {
+		st.Edges = sn.edgesSeen
+		st.Estimate = sn.estimate
+		st.ErrorBound = sn.errorBound
+		st.ReservoirEdges = sn.reservoir
+		st.ReservoirCap = sn.resCap
+		st.EdgesRemoved = sn.removed
+		st.MemoryBytes = sn.memBytes
+	}
+	return st
+}
+
+// sessionBudget resolves a session's byte budget: the request's, if
+// set, clamped to the server-wide per-session cap.
+func (s *Server) sessionBudget(req int64) int64 {
+	if req <= 0 || req > s.cfg.MaxStreamBytes {
+		return s.cfg.MaxStreamBytes
+	}
+	return req
 }
 
 func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
@@ -119,27 +255,69 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	if req.Vertices < 1 || req.Vertices > s.cfg.MaxStreamVertices {
+	mode := req.Mode
+	if mode == "" {
+		mode = s.cfg.DefaultStreamMode
+	}
+	switch mode {
+	case "exact", "approx", "auto":
+	default:
 		writeErr(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("vertices %d out of range [1, %d]", req.Vertices, s.cfg.MaxStreamVertices))
+			fmt.Sprintf("unknown stream mode %q (want exact, approx or auto)", mode))
 		return
 	}
-	if len(req.Hubs) > s.cfg.MaxStreamHubs {
-		writeErr(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("%d hubs exceeds the limit of %d", len(req.Hubs), s.cfg.MaxStreamHubs))
-		return
+	ss := &streamSession{
+		mode:   mode,
+		auto:   mode == "auto",
+		budget: s.sessionBudget(req.BudgetBytes),
 	}
-	// NewStreaming validates range and uniqueness of the hub set —
-	// the satellite-2 fix; before it, a stray hub ID was a panic that
-	// took the whole process down.
-	sc, err := core.NewStreaming(req.Vertices, req.Hubs)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_hubs", err.Error())
-		return
+	seed := req.Seed
+	if seed == 0 {
+		seed = int64(s.streams.nextID.Load()) + 1
 	}
-	sc.CountNonHub = req.CountNonHub
-	ss, err := s.streams.create(sc)
-	if err != nil {
+	if mode == "approx" {
+		ss.tr = approx.NewTriestWindow(approx.ReservoirForBudget(ss.budget), req.Window, seed)
+		ss.publishSnapLocked()
+		s.met.Add("stream.approx_sessions", 1)
+	} else {
+		if req.Vertices < 1 || req.Vertices > s.cfg.MaxStreamVertices {
+			writeErr(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("vertices %d out of range [1, %d]", req.Vertices, s.cfg.MaxStreamVertices))
+			return
+		}
+		if len(req.Hubs) > s.cfg.MaxStreamHubs {
+			writeErr(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("%d hubs exceeds the limit of %d", len(req.Hubs), s.cfg.MaxStreamHubs))
+			return
+		}
+		// NewStreaming validates range and uniqueness of the hub set —
+		// before it, a stray hub ID was a panic that took the whole
+		// process down.
+		sc, err := core.NewStreaming(req.Vertices, req.Hubs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_hubs", err.Error())
+			return
+		}
+		sc.CountNonHub = req.CountNonHub
+		if sc.MemoryBytes() > ss.budget {
+			// The empty universe alone busts the budget: an auto session
+			// starts out degraded; an exact one is refused outright.
+			if !ss.auto {
+				writeErr(w, http.StatusRequestEntityTooLarge, "stream_over_budget",
+					fmt.Sprintf("exact universe of %d vertices needs %d bytes, budget is %d (use mode=approx or auto)",
+						req.Vertices, sc.MemoryBytes(), ss.budget))
+				return
+			}
+			ss.tr = approx.NewTriestWindow(approx.ReservoirForBudget(ss.budget), req.Window, seed)
+			ss.publishSnapLocked()
+			ss.degraded.Store(true)
+			s.met.Add("stream.degraded", 1)
+		} else {
+			ss.sc.Store(sc)
+			ss.degradeSeed, ss.degradeWindow = seed, req.Window
+		}
+	}
+	if err := s.streams.add(ss); err != nil {
 		writeErr(w, http.StatusTooManyRequests, "stream_limit", err.Error())
 		return
 	}
@@ -152,8 +330,9 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no_such_stream", "no such stream session")
 		return
 	}
-	// Counter reads are atomic; no session lock, so polling never
-	// stalls behind a large ingest batch.
+	// Counter reads are atomics (exact) or a published snapshot
+	// (approx); no session lock, so polling never stalls behind a
+	// large ingest batch.
 	writeJSON(w, http.StatusOK, streamState(ss))
 }
 
@@ -188,17 +367,229 @@ func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d edges exceeds the limit of %d", n, s.cfg.MaxStreamBatch))
 		return
 	}
+	// Batch preparation (normalize, drop self loops, dedup) runs
+	// outside the session lock and, for large batches, in parallel
+	// across sched workers with pooled scratch — so a 64k-edge batch
+	// no longer serializes its whole cost behind one goroutine.
+	adds := s.prepareBatch(req.Add)
+	rems := s.prepareBatch(req.Remove)
+	defer adds.release()
+	defer rems.release()
+
 	// One writer at a time; out-of-range endpoints are ignored by
-	// AddEdge/RemoveEdge rather than refused, matching the loose
+	// the exact counter rather than refused, matching the loose
 	// semantics of an edge stream.
 	ss.mu.Lock()
-	for _, e := range req.Add {
-		ss.sc.AddEdge(e[0], e[1])
-	}
-	for _, e := range req.Remove {
-		ss.sc.RemoveEdge(e[0], e[1])
-	}
+	rejected := ss.applyLocked(s, adds, rems)
+	state := streamState(ss)
 	ss.mu.Unlock()
-	s.met.Add("stream.edges_ingested", int64(len(req.Add)+len(req.Remove)))
-	writeJSON(w, http.StatusOK, streamState(ss))
+	if rejected {
+		s.met.Add("stream.budget_rejections", 1)
+		writeErr(w, http.StatusRequestEntityTooLarge, "stream_over_budget",
+			fmt.Sprintf("session %s holds %d bytes, over its %d-byte budget; delete it or use mode=approx/auto",
+				ss.id, state.MemoryBytes, ss.budget))
+		return
+	}
+	s.met.Add("stream.edges_ingested", int64(adds.len()+rems.len()))
+	writeJSON(w, http.StatusOK, state)
+}
+
+// budgetCheckEvery is how many applied edges pass between resident-
+// byte rechecks during an exact ingest: frequent enough that an auto
+// session overshoots its budget by at most a few KiB, cheap enough
+// (one atomic load) to vanish in the ingest cost.
+const budgetCheckEvery = 1024
+
+// applyLocked applies a prepared batch under the session lock. It
+// returns true when the session is an over-budget exact session and
+// the batch was refused. Auto sessions degrade mid-batch instead:
+// the remaining edges continue into the estimator.
+func (ss *streamSession) applyLocked(srv *Server, adds, rems *preparedBatch) bool {
+	if sc := ss.sc.Load(); sc != nil {
+		if !ss.auto && sc.MemoryBytes() > ss.budget {
+			return true
+		}
+		applied := 0
+		adds.each(func(u, v uint32) {
+			if ss.degraded.Load() {
+				ss.tr.AddEdge(u, v)
+				return
+			}
+			sc.AddEdge(u, v)
+			if applied++; ss.auto && applied%budgetCheckEvery == 0 && sc.MemoryBytes() > ss.budget {
+				ss.degradeLocked(srv, sc)
+			}
+		})
+		if ss.auto && !ss.degraded.Load() && sc.MemoryBytes() > ss.budget {
+			ss.degradeLocked(srv, sc)
+		}
+		if ss.degraded.Load() {
+			rems.each(ss.tr.RemoveEdge)
+			ss.publishSnapLocked()
+			return false
+		}
+		rems.each(func(u, v uint32) { sc.RemoveEdge(u, v) })
+		return false
+	}
+	adds.each(ss.tr.AddEdge)
+	rems.each(ss.tr.RemoveEdge)
+	ss.publishSnapLocked()
+	return false
+}
+
+// degradeLocked flips an auto session from exact to approx: a fresh
+// reservoir sized to the budget is seeded with the counter's current
+// edge set (a uniform reservoir sample of the resident graph), the
+// snapshot is published, and the exact structures are released. GETs
+// racing the flip read either the old counter's atomics or the new
+// snapshot — both consistent. Caller holds mu.
+func (ss *streamSession) degradeLocked(srv *Server, sc *core.Streaming) {
+	tr := approx.NewTriestWindow(approx.ReservoirForBudget(ss.budget), ss.degradeWindow, ss.degradeSeed)
+	sc.ForEachEdge(tr.AddEdge)
+	ss.tr = tr
+	ss.publishSnapLocked()
+	ss.degraded.Store(true)
+	ss.sc.Store(nil) // release the exact structures to the GC
+	srv.met.Add("stream.degraded", 1)
+}
+
+// ---------------------------------------------------------------
+// Batch preparation: normalization + dedup, parallel for large
+// batches, with pooled per-worker scratch.
+
+// prepScratch is one worker's batch-preparation scratch: a dedup set
+// and an output buffer, reused across requests through prepPool.
+type prepScratch struct {
+	seen map[[2]uint32]struct{}
+	out  [][2]uint32
+}
+
+var prepPool = sync.Pool{New: func() any {
+	return &prepScratch{seen: make(map[[2]uint32]struct{}, 1024)}
+}}
+
+// maxPooledScratch caps what Put returns to the pool: scratch that
+// ballooned on a giant batch is dropped for the GC instead of
+// pinning its worst-case footprint forever (the capped Get/Put
+// idiom).
+const maxPooledScratch = 1 << 16
+
+func getScratch() *prepScratch { return prepPool.Get().(*prepScratch) }
+
+func putScratch(p *prepScratch) {
+	if len(p.seen) > maxPooledScratch || cap(p.out) > maxPooledScratch {
+		return
+	}
+	clear(p.seen)
+	p.out = p.out[:0]
+	prepPool.Put(p)
+}
+
+// preparedBatch is a normalized, deduplicated edge batch, held in
+// pooled scratch until release.
+type preparedBatch struct {
+	parts   [][][2]uint32
+	scratch []*prepScratch
+}
+
+func (b *preparedBatch) len() int {
+	n := 0
+	for _, p := range b.parts {
+		n += len(p)
+	}
+	return n
+}
+
+func (b *preparedBatch) each(fn func(u, v uint32)) {
+	for _, p := range b.parts {
+		for _, e := range p {
+			fn(e[0], e[1])
+		}
+	}
+}
+
+func (b *preparedBatch) release() {
+	for _, sc := range b.scratch {
+		putScratch(sc)
+	}
+	b.parts, b.scratch = nil, nil
+}
+
+// parallelBatchThreshold is the batch size below which preparation
+// stays on the request goroutine; the fan-out only pays for itself
+// on large batches.
+const parallelBatchThreshold = 8192
+
+// prepareBatch canonicalizes (u>v swapped), drops self loops and
+// deduplicates a batch. Large batches are hash-partitioned across
+// sched workers — each worker owns a disjoint slice of the edge
+// space, so per-worker dedup is global dedup with no shared state.
+// Edge order is not preserved across partitions; both counters are
+// order-independent within a batch (duplicates are no-ops), so only
+// reservoir tie-breaks observe it.
+func (s *Server) prepareBatch(edges [][2]uint32) *preparedBatch {
+	if len(edges) == 0 {
+		return &preparedBatch{}
+	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(edges) < parallelBatchThreshold || workers < 2 {
+		sc := getScratch()
+		normalizeInto(sc, edges, 0, 1)
+		return &preparedBatch{parts: [][][2]uint32{sc.out}, scratch: []*prepScratch{sc}}
+	}
+	if workers > 8 {
+		workers = 8 // dedup is memory-bound; wider fan-out just thrashes
+	}
+	b := &preparedBatch{
+		parts:   make([][][2]uint32, workers),
+		scratch: make([]*prepScratch, workers),
+	}
+	for i := range b.scratch {
+		b.scratch[i] = getScratch()
+	}
+	pool := sched.NewPool(workers)
+	pool.RunTasks(workers, func(_, task int) {
+		normalizeInto(b.scratch[task], edges, uint64(task), uint64(workers))
+		b.parts[task] = b.scratch[task].out
+	})
+	return b
+}
+
+// normalizeInto scans the whole batch and keeps the edges this
+// worker's hash partition owns: canonicalized, self loops dropped,
+// first occurrence only.
+func normalizeInto(sc *prepScratch, edges [][2]uint32, part, parts uint64) {
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if parts > 1 && edgeHash(u, v)%parts != part {
+			continue
+		}
+		key := [2]uint32{u, v}
+		if _, dup := sc.seen[key]; dup {
+			continue
+		}
+		sc.seen[key] = struct{}{}
+		sc.out = append(sc.out, key)
+	}
+}
+
+// edgeHash mixes a canonical edge into a partition key
+// (splitmix64-style finalizer: cheap and well-spread).
+func edgeHash(u, v uint32) uint64 {
+	x := uint64(u)<<32 | uint64(v)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
