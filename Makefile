@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-report verify serve-smoke experiments fuzz clean
+.PHONY: all build test check race bench bench-report verify serve-smoke chaos experiments fuzz clean
 
 all: build test
 
@@ -23,6 +23,7 @@ check:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/serve/
+	$(GO) test -race ./internal/faults/
 	$(GO) test -race ./internal/approx/
 	$(GO) test -race -run 'TestReadLotusGraph|TestLotusGraphRoundTrip|TestStreaming' ./internal/core/
 	$(GO) test -race -run 'TestShardEquivalence' ./internal/shard/
@@ -54,6 +55,13 @@ verify:
 serve-smoke:
 	$(GO) run ./cmd/lotus-serve -smoke -smoke-scale 12
 
+# Kill/restart + fault-injection chaos suite over the durable session
+# layer, race-enabled: exact sessions must recover bit-identically,
+# approx sessions draw-for-draw, torn WAL tails clip cleanly, and
+# every registered fault point degrades without corrupting state.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestRecovering|TestShutdownCancels|TestAdmitReleases|TestWAL' -v ./internal/serve/
+
 # Regenerate every table and figure (writes nothing; see EXPERIMENTS.md
 # for an archived run).
 experiments:
@@ -68,6 +76,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzIntersectAgreement -fuzztime=10s ./internal/intersect
 	$(GO) test -run=^$$ -fuzz=FuzzPartition -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzTriest$$ -fuzztime=10s ./internal/approx
+	$(GO) test -run=^$$ -fuzz=FuzzWALDecode -fuzztime=10s ./internal/serve
 
 clean:
 	$(GO) clean ./...

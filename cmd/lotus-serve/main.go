@@ -9,10 +9,12 @@
 //	lotus-serve -addr :8090 -cache-bytes 1073741824
 //	lotus-serve -smoke          # boot, self-query, verify, exit
 //
-// Endpoints (all JSON): GET /healthz, GET /metrics,
-// GET /v1/algorithms, POST /v1/count, POST /v1/topk,
+// Endpoints (all JSON): GET /livez, GET /readyz, GET /healthz,
+// GET /metrics, GET /v1/algorithms, POST /v1/count, POST /v1/topk,
 // POST /v1/estimate, POST /v1/stream, GET|DELETE /v1/stream/{id},
-// POST /v1/stream/{id}/edges. See README.md for request schemas.
+// POST /v1/stream/{id}/edges, and GET|POST /debug/faults behind
+// -debug-faults. With -data-dir, stream sessions persist across
+// restarts (snapshot + WAL). See README.md for request schemas.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"lotustc/internal/faults"
 	"lotustc/internal/obs"
 	"lotustc/internal/serve"
 )
@@ -52,6 +55,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "worker threads per count (0 = GOMAXPROCS)")
 		maxStream  = fs.Int64("max-stream-bytes", 256<<20, "per-session resident byte budget for /v1/stream sessions")
 		streamMode = fs.String("stream-mode-default", "exact", "stream session mode when the request names none: exact, approx or auto")
+		dataDir    = fs.String("data-dir", "", "directory for crash-safe stream-session durability (WAL + snapshots); empty = memory-only sessions")
+		walSync    = fs.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch) or none (leave flushing to the OS)")
+		snapBytes  = fs.Int64("snapshot-bytes", 1<<20, "live-WAL size that triggers a session snapshot + WAL rotation")
+		faultSpec  = fs.String("faults", "", "arm fault points at boot, e.g. \"wal.fsync:error:p=0.5;serve.build:latency:d=50ms\"")
+		debugFault = fs.Bool("debug-faults", false, "mount /debug/faults for runtime fault injection (never in production)")
 		allowFiles = fs.Bool("allow-files", false, "permit {\"type\":\"file\"} graph specs (filesystem access)")
 		pprofAddr  = fs.String("pprof", "", "also start the expvar/pprof debug server on this address")
 		drainWait  = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
@@ -67,6 +75,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lotus-serve: -stream-mode-default %q: must be exact, approx or auto\n", *streamMode)
 		return 2
 	}
+	switch *walSync {
+	case "always", "none":
+	default:
+		fmt.Fprintf(stderr, "lotus-serve: -wal-sync %q: must be always or none\n", *walSync)
+		return 2
+	}
+	if *faultSpec != "" {
+		if err := faults.Configure(*faultSpec); err != nil {
+			fmt.Fprintf(stderr, "lotus-serve: -faults: %v\n", err)
+			return 2
+		}
+	}
 
 	cfg := serve.Config{
 		CacheBytes:        *cacheBytes,
@@ -79,6 +99,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		AllowFiles:        *allowFiles,
 		MaxStreamBytes:    *maxStream,
 		DefaultStreamMode: *streamMode,
+		DataDir:           *dataDir,
+		WALSync:           *walSync,
+		SnapshotBytes:     *snapBytes,
+		DebugFaults:       *debugFault,
 	}
 
 	if *smoke {
@@ -103,6 +127,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "lotus-serve: serving on %s\n", ln.Addr())
 
+	// Recovery replays persisted sessions concurrently with serving:
+	// /livez answers immediately while /readyz and the session
+	// endpoints stay 503 "recovering" until the replay finishes.
+	go func() {
+		srv.Recover()
+		if *dataDir != "" {
+			fmt.Fprintf(stdout, "lotus-serve: session recovery done (%d restored)\n",
+				srv.Metrics().Get("stream.wal_recovered"))
+		}
+	}()
+
 	// Graceful shutdown: on SIGINT/SIGTERM flip /healthz to draining
 	// (load balancers stop routing), then let in-flight requests
 	// finish under the drain budget before the listener dies.
@@ -118,6 +153,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(stderr, "lotus-serve: shutdown: %v\n", err)
 		}
+		// After the listener drains: cancel detached builds and flush a
+		// final snapshot per session, so restart replays a fresh
+		// snapshot instead of a long WAL tail.
+		srv.Close()
 		close(idle)
 	}()
 

@@ -1,0 +1,100 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TriestState is the serializable state of a Triest estimator: what a
+// durability layer must persist so a crashed process can resume the
+// estimator with its reservoir, stream clock and estimate intact.
+// The RNG position is deliberately not part of the state — it only
+// affects which future edges get sampled, not the validity of the
+// estimate — so a restored estimator is reseeded and continues as an
+// equally valid (but not draw-for-draw identical) run unless it is
+// restored from its genesis state, in which case the same seed
+// reproduces the original run exactly.
+type TriestState struct {
+	Cap      int
+	Window   uint64
+	Seen     uint64 // stream edges accepted (t)
+	Estimate float64
+	Removed  uint64
+	Edges    [][2]uint32 // resident reservoir, canonical (u<v) keys
+	Times    []uint64    // arrival time per resident edge
+}
+
+// State snapshots the estimator. The returned slices are copies; the
+// caller may serialize them while the estimator keeps ingesting
+// (under its single-writer contract).
+func (tr *Triest) State() *TriestState {
+	st := &TriestState{
+		Cap:      tr.m,
+		Window:   tr.window,
+		Seen:     tr.t,
+		Estimate: tr.estimate,
+		Removed:  tr.removed,
+		Edges:    make([][2]uint32, len(tr.edges)),
+		Times:    make([]uint64, len(tr.times)),
+	}
+	copy(st.Edges, tr.edges)
+	copy(st.Times, tr.times)
+	return st
+}
+
+// RestoreTriest rebuilds an estimator from a persisted state,
+// validating every invariant the serving layer depends on: the state
+// arrives from disk and a corrupt snapshot must fail recovery, not
+// corrupt a live session. seed reseeds the sampler (see TriestState).
+func RestoreTriest(st *TriestState, seed int64) (*Triest, error) {
+	if st == nil {
+		return nil, fmt.Errorf("approx: nil state")
+	}
+	m := st.Cap
+	if m < triestMinReservoir {
+		return nil, fmt.Errorf("approx: reservoir cap %d below minimum %d", m, triestMinReservoir)
+	}
+	if len(st.Edges) != len(st.Times) {
+		return nil, fmt.Errorf("approx: %d edges but %d times", len(st.Edges), len(st.Times))
+	}
+	if len(st.Edges) > m {
+		return nil, fmt.Errorf("approx: %d resident edges overflow cap %d", len(st.Edges), m)
+	}
+	if math.IsNaN(st.Estimate) || math.IsInf(st.Estimate, 0) || st.Estimate < 0 {
+		return nil, fmt.Errorf("approx: estimate %v not finite and non-negative", st.Estimate)
+	}
+	tr := &Triest{
+		m:        m,
+		window:   st.Window,
+		t:        st.Seen,
+		estimate: st.Estimate,
+		removed:  st.Removed,
+		rng:      rand.New(rand.NewSource(seed)),
+		adj:      make(map[uint32][]uint32),
+		idx:      make(map[[2]uint32]int, len(st.Edges)),
+	}
+	tr.minTime = math.MaxUint64
+	for i, e := range st.Edges {
+		if e[0] >= e[1] {
+			return nil, fmt.Errorf("approx: edge %d (%d,%d) not canonical", i, e[0], e[1])
+		}
+		if _, dup := tr.idx[e]; dup {
+			return nil, fmt.Errorf("approx: duplicate reservoir edge (%d,%d)", e[0], e[1])
+		}
+		if st.Times[i] > st.Seen {
+			return nil, fmt.Errorf("approx: edge %d arrival time %d after stream clock %d", i, st.Times[i], st.Seen)
+		}
+		tr.idx[e] = i
+		tr.edges = append(tr.edges, e)
+		tr.times = append(tr.times, st.Times[i])
+		tr.addAdj(e[0], e[1])
+		if st.Times[i] < tr.minTime {
+			tr.minTime = st.Times[i]
+		}
+	}
+	if len(tr.edges) == 0 {
+		tr.minTime = 0
+	}
+	return tr, nil
+}

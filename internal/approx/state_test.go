@@ -1,0 +1,101 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRestoreFromGenesisIsBitIdentical is the property session
+// recovery leans on: restoring the empty (genesis) state with the
+// original seed and replaying the same edge sequence reproduces the
+// original estimator draw-for-draw.
+func TestRestoreFromGenesisIsBitIdentical(t *testing.T) {
+	const seed = 99
+	orig := NewTriestWindow(64, 0, seed)
+	genesis := orig.State()
+	rest, err := RestoreTriest(genesis, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		u, v := rng.Uint32()%300, rng.Uint32()%300
+		orig.AddEdge(u, v)
+		rest.AddEdge(u, v)
+		if rng.Intn(10) == 0 {
+			orig.RemoveEdge(u, v)
+			rest.RemoveEdge(u, v)
+		}
+	}
+	if orig.Estimate() != rest.Estimate() {
+		t.Fatalf("estimates diverged: %v vs %v", orig.Estimate(), rest.Estimate())
+	}
+	if orig.EdgesSeen() != rest.EdgesSeen() || orig.ReservoirSize() != rest.ReservoirSize() {
+		t.Fatalf("state diverged: t %d/%d reservoir %d/%d",
+			orig.EdgesSeen(), rest.EdgesSeen(), orig.ReservoirSize(), rest.ReservoirSize())
+	}
+}
+
+func TestStateMidStreamRoundTrip(t *testing.T) {
+	tr := NewTriestWindow(32, 0, 5)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		tr.AddEdge(rng.Uint32()%200, rng.Uint32()%200)
+	}
+	st := tr.State()
+	rest, err := RestoreTriest(st, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Estimate() != tr.Estimate() || rest.EdgesSeen() != tr.EdgesSeen() ||
+		rest.ReservoirSize() != tr.ReservoirSize() || rest.EdgesRemoved() != tr.EdgesRemoved() {
+		t.Fatalf("restore changed observable state: %+v vs live", st)
+	}
+	if rest.MemoryBytes() != tr.MemoryBytes() {
+		t.Fatalf("memory accounting diverged: %d vs %d", rest.MemoryBytes(), tr.MemoryBytes())
+	}
+	// The restored estimator keeps working and keeps its invariants.
+	for i := 0; i < 2000; i++ {
+		rest.AddEdge(rng.Uint32()%200, rng.Uint32()%200)
+		if e := rest.Estimate(); math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			t.Fatalf("estimate broke after restore: %v", e)
+		}
+	}
+	if rest.ReservoirSize() > rest.ReservoirCap() {
+		t.Fatalf("reservoir overflowed after restore: %d > %d", rest.ReservoirSize(), rest.ReservoirCap())
+	}
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	good := func() *TriestState {
+		tr := NewTriest(8, 1)
+		for i := uint32(0); i < 20; i++ {
+			tr.AddEdge(i, i+1)
+		}
+		return tr.State()
+	}
+	cases := map[string]func(*TriestState){
+		"cap too small":     func(s *TriestState) { s.Cap = 1 },
+		"len mismatch":      func(s *TriestState) { s.Times = s.Times[:len(s.Times)-1] },
+		"overflow":          func(s *TriestState) { s.Cap = len(s.Edges) - 1 },
+		"nan estimate":      func(s *TriestState) { s.Estimate = math.NaN() },
+		"negative estimate": func(s *TriestState) { s.Estimate = -1 },
+		"non-canonical":     func(s *TriestState) { s.Edges[0] = [2]uint32{5, 5} },
+		"duplicate":         func(s *TriestState) { s.Edges[1] = s.Edges[0] },
+		"future time":       func(s *TriestState) { s.Times[0] = s.Seen + 1 },
+	}
+	for name, corrupt := range cases {
+		st := good()
+		corrupt(st)
+		if _, err := RestoreTriest(st, 1); err == nil {
+			t.Errorf("%s: corrupt state accepted", name)
+		}
+	}
+	if _, err := RestoreTriest(nil, 1); err == nil {
+		t.Error("nil state accepted")
+	}
+	if _, err := RestoreTriest(good(), 1); err != nil {
+		t.Errorf("pristine state rejected: %v", err)
+	}
+}

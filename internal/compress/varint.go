@@ -1,0 +1,81 @@
+package compress
+
+// Exported varint primitives for other packages that persist
+// graph-shaped data — the serving layer's session WAL and snapshots
+// encode edge batches through these, so the wire format shares one
+// implementation (and one fuzz surface) with the in-memory compressed
+// graphs.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendUvarint appends x to dst in LEB128 form.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// ReadUvarint decodes a uvarint from src, returning the value and the
+// bytes consumed. n <= 0 reports a truncated or overlong encoding
+// (binary.Uvarint semantics).
+func ReadUvarint(src []byte) (x uint64, n int) {
+	return binary.Uvarint(src)
+}
+
+// AppendZigzag appends x in zigzag-uvarint form: small magnitudes of
+// either sign stay short, which is what per-endpoint edge deltas
+// need (streams are not sorted, so deltas go both ways).
+func AppendZigzag(dst []byte, x int64) []byte {
+	return binary.AppendUvarint(dst, uint64(x)<<1^uint64(x>>63))
+}
+
+// ReadZigzag decodes a zigzag-uvarint; n <= 0 reports truncation.
+func ReadZigzag(src []byte) (x int64, n int) {
+	u, n := binary.Uvarint(src)
+	return int64(u>>1) ^ -int64(u&1), n
+}
+
+// AppendEdgeStream appends edges as zigzag per-endpoint deltas from
+// the previous edge: arbitrary-order streams (a WAL preserves apply
+// order, which replay determinism depends on) still compress well
+// because consecutive edges in real batches are correlated.
+func AppendEdgeStream(dst []byte, edges [][2]uint32) []byte {
+	var pu, pv int64
+	for _, e := range edges {
+		u, v := int64(e[0]), int64(e[1])
+		dst = AppendZigzag(dst, u-pu)
+		dst = AppendZigzag(dst, v-pv)
+		pu, pv = u, v
+	}
+	return dst
+}
+
+// ReadEdgeStream decodes n edges appended by AppendEdgeStream,
+// returning the edges and the bytes consumed. Truncated input or
+// deltas that walk outside uint32 range are errors, never panics —
+// the decoder's inputs come from disk and cannot be trusted.
+func ReadEdgeStream(src []byte, n int) ([][2]uint32, int, error) {
+	edges := make([][2]uint32, 0, n)
+	var pu, pv int64
+	pos := 0
+	for i := 0; i < n; i++ {
+		du, k := ReadZigzag(src[pos:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("compress: edge stream truncated at edge %d", i)
+		}
+		pos += k
+		dv, k := ReadZigzag(src[pos:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("compress: edge stream truncated at edge %d", i)
+		}
+		pos += k
+		pu += du
+		pv += dv
+		if pu < 0 || pu > 0xFFFFFFFF || pv < 0 || pv > 0xFFFFFFFF {
+			return nil, 0, fmt.Errorf("compress: edge stream endpoint out of uint32 range at edge %d", i)
+		}
+		edges = append(edges, [2]uint32{uint32(pu), uint32(pv)})
+	}
+	return edges, pos, nil
+}

@@ -1,0 +1,65 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, x := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<62 - 1, -(1 << 62)} {
+		buf := AppendZigzag(nil, x)
+		got, n := ReadZigzag(buf)
+		if got != x || n != len(buf) {
+			t.Fatalf("zigzag %d -> %d (n=%d, len=%d)", x, got, n, len(buf))
+		}
+	}
+}
+
+func TestEdgeStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		edges := make([][2]uint32, n)
+		for i := range edges {
+			// Mix of local deltas and wild jumps, both orientations.
+			if rng.Intn(2) == 0 {
+				edges[i] = [2]uint32{rng.Uint32() % 1000, rng.Uint32() % 1000}
+			} else {
+				edges[i] = [2]uint32{rng.Uint32(), rng.Uint32()}
+			}
+		}
+		buf := AppendEdgeStream(nil, edges)
+		got, consumed, err := ReadEdgeStream(buf, n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if consumed != len(buf) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, consumed, len(buf))
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: %d edges back, want %d", trial, len(got), n)
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				t.Fatalf("trial %d: edge %d: %v != %v", trial, i, got[i], edges[i])
+			}
+		}
+	}
+}
+
+func TestEdgeStreamTruncationIsError(t *testing.T) {
+	edges := [][2]uint32{{1, 2}, {100000, 3}, {7, 4000000000}}
+	buf := AppendEdgeStream(nil, edges)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ReadEdgeStream(buf[:cut], len(edges)); err == nil {
+			// A prefix may decode a smaller edge count cleanly; asking
+			// for all three from a cut buffer must fail.
+			t.Fatalf("cut at %d decoded cleanly", cut)
+		}
+	}
+	// Deltas that escape uint32 range are rejected.
+	bad := AppendZigzag(AppendZigzag(nil, 1<<40), 0)
+	if _, _, err := ReadEdgeStream(bad, 1); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}

@@ -369,3 +369,69 @@ func TestStreamingHubVertexEager(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamingSnapshotEdgesRoundTrip: replaying SnapshotEdges into a
+// fresh counter with the same universe and hub order reproduces every
+// class count and the memory accounting — the serialization contract
+// session durability rests on.
+func TestStreamingSnapshotEdgesRoundTrip(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat": gen.RMAT(gen.DefaultRMAT(9, 8, 8)),
+		"er":   gen.ErdosRenyi(256, 1024, 10),
+	}
+	for name, g := range graphs {
+		hubIDs := topKHubs(g, 16)
+		s := mustStreaming(t, g.NumVertices(), hubIDs)
+		s.CountNonHub = true
+		edges := g.Edges()
+		rng := rand.New(rand.NewSource(8))
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		for i, e := range edges {
+			s.AddEdge(e.U, e.V)
+			if i%5 == 0 {
+				s.RemoveEdge(e.U, e.V)
+			}
+		}
+
+		if got := s.HubIDs(); len(got) != len(hubIDs) {
+			t.Fatalf("%s: HubIDs len %d, want %d", name, len(got), len(hubIDs))
+		} else {
+			for i := range got {
+				if got[i] != hubIDs[i] {
+					t.Fatalf("%s: HubIDs[%d] = %d, want %d (dense order)", name, i, got[i], hubIDs[i])
+				}
+			}
+		}
+
+		snap := s.SnapshotEdges(nil)
+		if uint64(len(snap)) != s.Edges() {
+			t.Fatalf("%s: snapshot holds %d edges, counter reports %d", name, len(snap), s.Edges())
+		}
+		r := mustStreaming(t, g.NumVertices(), s.HubIDs())
+		r.CountNonHub = true
+		for _, e := range snap {
+			r.AddEdge(e[0], e[1])
+		}
+		h1, n1, m1, k1 := s.Classes()
+		h2, n2, m2, k2 := r.Classes()
+		if h1 != h2 || n1 != n2 || m1 != m2 || k1 != k2 {
+			t.Fatalf("%s: replay classes (%d,%d,%d,%d) != live (%d,%d,%d,%d)",
+				name, h2, n2, m2, k2, h1, n1, m1, k1)
+		}
+		if r.Edges() != s.Edges() || r.MemoryBytes() != s.MemoryBytes() {
+			t.Fatalf("%s: replay edges/mem %d/%d != live %d/%d",
+				name, r.Edges(), r.MemoryBytes(), s.Edges(), s.MemoryBytes())
+		}
+		// A second snapshot of the replayed counter enumerates the same
+		// edges in the same order (determinism).
+		again := r.SnapshotEdges(nil)
+		if len(again) != len(snap) {
+			t.Fatalf("%s: second snapshot %d edges, want %d", name, len(again), len(snap))
+		}
+		for i := range snap {
+			if snap[i] != again[i] {
+				t.Fatalf("%s: snapshot order not deterministic at %d: %v vs %v", name, i, snap[i], again[i])
+			}
+		}
+	}
+}

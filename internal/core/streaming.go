@@ -150,6 +150,36 @@ func (s *Streaming) ForEachEdge(fn func(u, v uint32)) {
 	}
 }
 
+// HubIDs returns the designated hub vertex IDs in dense-index order.
+// The order matters to anyone persisting a counter: NewStreaming
+// assigns dense hub indices by input position, and the H2H layout and
+// ForEachEdge enumeration order follow them — a durability layer that
+// wants bit-identical recovery must recreate the counter with the
+// hubs in this exact order.
+func (s *Streaming) HubIDs() []uint32 {
+	out := make([]uint32, len(s.hubVertex))
+	copy(out, s.hubVertex)
+	return out
+}
+
+// SnapshotEdges appends the counter's current edge set to dst in the
+// deterministic ForEachEdge order and returns it. Replaying the
+// returned edges into a fresh counter built with the same universe
+// and hub order reproduces every class count exactly — that is the
+// serialization contract the serving layer's session snapshots rest
+// on. Same single-writer rules as ForEachEdge.
+func (s *Streaming) SnapshotEdges(dst [][2]uint32) [][2]uint32 {
+	if c := int(s.edges.Load()); cap(dst)-len(dst) < c {
+		grown := make([][2]uint32, len(dst), len(dst)+c)
+		copy(grown, dst)
+		dst = grown
+	}
+	s.ForEachEdge(func(u, v uint32) {
+		dst = append(dst, [2]uint32{u, v})
+	})
+	return dst
+}
+
 // NumVertices returns the size of the vertex universe.
 func (s *Streaming) NumVertices() int { return len(s.hubIdx) }
 

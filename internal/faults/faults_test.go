@@ -1,0 +1,288 @@
+package faults
+
+// Unit tests for the fault-point registry and the retry helper,
+// written to run clean under -race: Inject is called concurrently
+// with Arm/Disarm the way the serving layer and /debug/faults race
+// in production.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInjectUnarmedIsNil(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a.b")
+	if err := r.Inject("a.b"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if err := r.Inject("never.registered"); err != nil {
+		t.Fatalf("unregistered point fired: %v", err)
+	}
+}
+
+func TestErrorPolicyCountAndAfter(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("x", Policy{Kind: KindError, After: 2, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if err := r.Inject("x"); err != nil {
+			fired++
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Point != "x" {
+				t.Fatalf("wrong error type: %v", err)
+			}
+			if !IsTransient(err) {
+				t.Fatalf("default injected error should be transient: %v", err)
+			}
+			if i < 2 {
+				t.Fatalf("fired during the After window at eval %d", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (Count)", fired)
+	}
+}
+
+func TestPermanentClassification(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("x", Policy{Kind: KindError, Permanent: true}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Inject("x")
+	if err == nil || IsTransient(err) {
+		t.Fatalf("permanent injected error classified transient: %v", err)
+	}
+	// Wrapping must not hide the classification.
+	wrapped := fmt.Errorf("outer: %w", &InjectedError{Point: "y"})
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient error classified permanent")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil error classified transient")
+	}
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("x", Policy{Kind: KindError, Prob: 0.5, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if r.Inject("x") != nil {
+			fired++
+		}
+	}
+	if fired < n/3 || fired > 2*n/3 {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, n)
+	}
+}
+
+func TestLatencyPolicySleepsAndSucceeds(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("x", Policy{Kind: KindLatency, Latency: 30 * time.Millisecond, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := r.Inject("x"); err != nil {
+		t.Fatalf("latency policy returned an error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency injection slept only %v", d)
+	}
+	// Count exhausted: no more sleeping.
+	start = time.Now()
+	_ = r.Inject("x")
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("exhausted latency policy still slept %v", d)
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("x", Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Inject("x") == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Disarm("x")
+	if err := r.Inject("x"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if err := r.Arm("x", Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	if err := r.Inject("x"); err != nil {
+		t.Fatalf("reset point fired: %v", err)
+	}
+	for _, st := range r.Points() {
+		if st.Armed != nil {
+			t.Fatalf("point %s still armed after Reset", st.Name)
+		}
+	}
+}
+
+func TestPointsCatalog(t *testing.T) {
+	r := NewRegistry()
+	r.Register("b")
+	r.Register("a")
+	if err := r.Arm("c", Policy{Kind: KindError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Inject("c")
+	pts := r.Points()
+	if len(pts) != 3 || pts[0].Name != "a" || pts[1].Name != "b" || pts[2].Name != "c" {
+		t.Fatalf("catalog wrong: %+v", pts)
+	}
+	if pts[2].Fires != 1 || pts[2].Evals != 1 || pts[2].Armed == nil {
+		t.Fatalf("counters wrong: %+v", pts[2])
+	}
+}
+
+func TestConfigureSpec(t *testing.T) {
+	r := NewRegistry()
+	spec := "wal.fsync:error:p=0.5,count=3,seed=9; serve.build:latency:d=5ms ; x:error:perm,after=1"
+	if err := r.Configure(spec); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PointStatus{}
+	for _, st := range r.Points() {
+		byName[st.Name] = st
+	}
+	f := byName["wal.fsync"].Armed
+	if f == nil || f.Prob != 0.5 || f.Count != 3 || f.Kind != KindError {
+		t.Fatalf("wal.fsync policy wrong: %+v", f)
+	}
+	b := byName["serve.build"].Armed
+	if b == nil || b.Kind != KindLatency || b.Latency != 5*time.Millisecond {
+		t.Fatalf("serve.build policy wrong: %+v", b)
+	}
+	x := byName["x"].Armed
+	if x == nil || !x.Permanent || x.After != 1 {
+		t.Fatalf("x policy wrong: %+v", x)
+	}
+
+	for _, bad := range []string{
+		"justapoint",
+		"p:badkind",
+		"p:error:p=nope",
+		"p:error:unknown=1",
+		"p:latency", // latency without duration
+		"p:error:p=2",
+		"p:error:count",
+	} {
+		if err := NewRegistry().Configure(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+	// Empty and whitespace specs are fine.
+	if err := NewRegistry().Configure(" ; "); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	calls := 0
+	retries := 0
+	err := Retry(context.Background(), RetryPolicy{
+		Attempts: 5, BaseDelay: time.Microsecond, JitterFrac: -1,
+		OnRetry: func(int, error) { retries++ },
+	}, func() error {
+		calls++
+		if calls < 3 {
+			return &InjectedError{Point: "t"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 and 2", calls, retries)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	perm := errors.New("permanent failure")
+	err := Retry(context.Background(), RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) {
+		t.Fatalf("lost the cause: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls-1)
+	}
+}
+
+func TestRetryExhaustionKeepsCause(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond}, func() error {
+		calls++
+		return &InjectedError{Point: "t"}
+	})
+	if calls != 3 {
+		t.Fatalf("made %d attempts, want 3", calls)
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("exhaustion lost the typed cause: %v", err)
+	}
+}
+
+func TestRetryContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, RetryPolicy{Attempts: 10, BaseDelay: time.Hour}, func() error {
+		return &InjectedError{Point: "t"}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled retry returned %v", err)
+	}
+}
+
+func TestConcurrentInjectArmDisarm(t *testing.T) {
+	r := NewRegistry()
+	r.Register("hot")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Inject("hot")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := r.Arm("hot", Policy{Kind: KindError, Prob: 0.5, Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		r.Disarm("hot")
+		_ = r.Points()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand/v2"
+	"time"
+)
+
+// RetryPolicy bounds an exponential-backoff retry loop. The zero
+// value is usable: 3 attempts, 1ms base delay doubling to a 100ms
+// cap, with 50% jitter.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first.
+	Attempts int
+	// BaseDelay is the wait after the first failure; it doubles per
+	// attempt up to MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterFrac randomizes each delay within ±(frac/2) of itself so
+	// synchronized retry storms decorrelate. 0 means the default 0.5;
+	// negative disables jitter (deterministic tests).
+	JitterFrac float64
+	// OnRetry, if set, observes each failed attempt that will be
+	// retried (metrics hooks).
+	OnRetry func(attempt int, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.5
+	}
+	return p
+}
+
+// Retry runs op, retrying transient failures (see IsTransient) with
+// bounded exponential backoff and jitter. Permanent errors, context
+// expiry and attempt exhaustion stop the loop; the last error is
+// returned wrapped with the attempt count (errors.Is/As still see
+// the cause).
+func Retry(ctx context.Context, p RetryPolicy, op func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt >= p.Attempts {
+			break
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		delay := p.BaseDelay << (attempt - 1)
+		if delay > p.MaxDelay || delay <= 0 {
+			delay = p.MaxDelay
+		}
+		if p.JitterFrac > 0 {
+			span := float64(delay) * p.JitterFrac
+			delay = time.Duration(float64(delay) - span/2 + span*mrand.Float64())
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("faults: retry interrupted after %d attempts: %w", attempt, ctx.Err())
+		case <-timer.C:
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("faults: retry interrupted after %d attempts: %w", attempt, ctx.Err())
+		}
+	}
+	if err != nil && !IsTransient(err) {
+		return err // permanent: no retries happened for it, report verbatim
+	}
+	return fmt.Errorf("faults: gave up after %d attempts: %w", p.Attempts, err)
+}

@@ -27,6 +27,30 @@ const (
 	NNNDispatchGallop = "nnn.dispatch.gallop"
 )
 
+// Counter names of the session-durability and fault-injection work
+// (PR 8). Defined here so the WAL/recovery code, the chaos tests and
+// the DESIGN.md catalog cannot drift apart.
+const (
+	// StreamWALRecovered counts sessions restored from disk at startup.
+	StreamWALRecovered = "stream.wal_recovered"
+	// StreamWALTruncated counts recoveries that found a torn or corrupt
+	// WAL tail and clipped it at the last valid frame.
+	StreamWALTruncated = "stream.wal_truncated"
+	// StreamWALFrames counts WAL frames replayed during recovery.
+	StreamWALFrames = "stream.wal_frames"
+	// StreamWALDegraded counts sessions whose durability was switched
+	// off after repeated WAL failures (the session keeps serving from
+	// memory instead of failing ingest).
+	StreamWALDegraded = "stream.wal_degraded"
+	// StreamSnapshots counts session snapshots written (periodic and
+	// shutdown-flush).
+	StreamSnapshots = "stream.snapshots"
+	// StreamRecoverSkipped counts session directories that could not be
+	// recovered at all (unreadable or corrupt snapshot) and were left
+	// on disk for inspection.
+	StreamRecoverSkipped = "stream.recover_skipped"
+)
+
 // Counter names of the sharded execution path (PR 6).
 const (
 	// ShardBlocks is the grid dimension p of a sharded build.

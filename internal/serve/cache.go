@@ -5,7 +5,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"lotustc/internal/faults"
 	"lotustc/internal/obs"
 )
 
@@ -75,13 +77,19 @@ func (c *lru) len() int { return c.ll.Len() }
 // request's context, so a caller that times out gets its error while
 // the build completes for the herd and lands in the cache — a
 // request deadline never poisons the cache with a half-built
-// structure.
+// structure. Detached is not immortal: every build is bound to the
+// cache's own lifetime context, and shutdown cancels it and waits, so
+// process exit never strands a preprocessing goroutine mid-build.
 type buildCache struct {
 	name  string // metric prefix: "<name>.hits", "<name>.misses", ...
 	mu    sync.Mutex
 	lru   *lru
 	calls map[string]*buildCall
 	met   *obs.Metrics
+
+	ctx    context.Context // cancelled by shutdown; bounds every build
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
 type buildCall struct {
@@ -92,7 +100,20 @@ type buildCall struct {
 }
 
 func newBuildCache(name string, maxBytes int64, met *obs.Metrics) *buildCache {
-	return &buildCache{name: name, lru: newLRU(maxBytes), calls: map[string]*buildCall{}, met: met}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &buildCache{
+		name: name, lru: newLRU(maxBytes), calls: map[string]*buildCall{}, met: met,
+		ctx: ctx, cancel: cancel,
+	}
+}
+
+// shutdown cancels every in-flight detached build and waits for the
+// build goroutines to exit. Call it after BeginDrain (no new requests
+// spawn builds) and before process exit; the drain test asserts no
+// build goroutine survives it.
+func (c *buildCache) shutdown() {
+	c.cancel()
+	c.wg.Wait()
 }
 
 // getOrBuild returns the value for key, building it at most once no
@@ -100,7 +121,7 @@ func newBuildCache(name string, maxBytes int64, met *obs.Metrics) *buildCache {
 // caller did not pay for a build (LRU hit or shared flight). When ctx
 // expires while waiting, the caller gets ctx.Err() and the in-flight
 // build keeps running for the others.
-func (c *buildCache) getOrBuild(ctx context.Context, key string, build func() (any, int64, error)) (v any, hit bool, err error) {
+func (c *buildCache) getOrBuild(ctx context.Context, key string, build func(context.Context) (any, int64, error)) (v any, hit bool, err error) {
 	c.mu.Lock()
 	if v, ok := c.lru.get(key); ok {
 		c.met.Add(c.name+".hits", 1)
@@ -113,6 +134,7 @@ func (c *buildCache) getOrBuild(ctx context.Context, key string, build func() (a
 		c.calls[key] = call
 		c.met.Add(c.name+".misses", 1)
 		c.met.Add(c.name+".builds", 1)
+		c.wg.Add(1)
 		go c.run(key, call, build)
 	} else {
 		c.met.Add(c.name+".flight_shared", 1)
@@ -128,25 +150,47 @@ func (c *buildCache) getOrBuild(ctx context.Context, key string, build func() (a
 	}
 }
 
+// buildRetryPolicy bounds the transient-failure retries of a detached
+// build: a build the whole herd waits on deserves a few quick retries
+// before everyone shares the error.
+var buildRetryPolicy = faults.RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+
 // run executes one detached build, converting panics to errors (a
 // malformed input must fail its requests, never the process), then
-// publishes the result and retires the flight.
-func (c *buildCache) run(key string, call *buildCall, build func() (any, int64, error)) {
+// publishes the result and retires the flight. Transient failures —
+// injected or real — are retried with bounded backoff; permanent
+// ones fail the flight immediately.
+func (c *buildCache) run(key string, call *buildCall, build func(context.Context) (any, int64, error)) {
+	defer c.wg.Done()
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				call.err = fmt.Errorf("serve: building %s: panic: %v", key, r)
 			}
 		}()
-		call.val, call.size, call.err = build()
+		call.err = faults.Retry(c.ctx, buildRetryPolicy, func() error {
+			if err := faults.Inject(FaultBuild); err != nil {
+				return err
+			}
+			var err error
+			call.val, call.size, err = build(c.ctx)
+			return err
+		})
 	}()
 	c.mu.Lock()
 	delete(c.calls, key)
 	if call.err == nil {
-		evicted := c.lru.add(key, call.val, call.size)
-		c.met.Add(c.name+".evictions", int64(evicted))
-		c.met.Set(c.name+".bytes", c.lru.bytes)
-		c.met.Set(c.name+".entries", int64(c.lru.len()))
+		// A fired admission fault skips caching but still serves the
+		// herd this flight built for — degraded residency, never a
+		// corrupted entry.
+		if err := faults.Inject(FaultCacheAdmit); err != nil {
+			c.met.Add(c.name+".admit_faults", 1)
+		} else {
+			evicted := c.lru.add(key, call.val, call.size)
+			c.met.Add(c.name+".evictions", int64(evicted))
+			c.met.Set(c.name+".bytes", c.lru.bytes)
+			c.met.Set(c.name+".entries", int64(c.lru.len()))
+		}
 	}
 	c.mu.Unlock()
 	close(call.done)

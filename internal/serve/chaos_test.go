@@ -1,0 +1,678 @@
+package serve
+
+// Chaos tests: ingest -> kill -> restart -> verify loops over the
+// session durability layer, plus fault injection at every registered
+// point. "Kill" means abandoning a Server without Close — its WAL
+// tail is whatever made it to the file, exactly like a crashed
+// process — while graceful-shutdown tests call Close and expect a
+// flushed snapshot. All of this runs under -race via `make chaos` /
+// `make check`.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"lotustc/internal/core"
+	"lotustc/internal/faults"
+	"lotustc/internal/gen"
+	"lotustc/internal/obs"
+)
+
+// newDurableServer boots a server over dir, runs recovery to
+// completion, and mounts it on httptest.
+func newDurableServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.DataDir = dir
+	s := New(cfg)
+	s.Recover()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func createStream(t *testing.T, ts *httptest.Server, body string) *StreamState {
+	t.Helper()
+	status, raw := postJSON(t, ts.URL+"/v1/stream", body)
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", status, raw)
+	}
+	return decodeStream(t, raw)
+}
+
+func ingestOK(t *testing.T, ts *httptest.Server, id string, add, rem [][2]uint32) *StreamState {
+	t.Helper()
+	status, raw := postJSON(t, ts.URL+"/v1/stream/"+id+"/edges", ingestBody(t, add, rem))
+	if status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, raw)
+	}
+	return decodeStream(t, raw)
+}
+
+func getStream(t *testing.T, ts *httptest.Server, id string) *StreamState {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stream/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %s: status %d: %s", id, resp.StatusCode, raw)
+	}
+	return decodeStream(t, []byte(raw))
+}
+
+// exactStateEqual compares every count an exact session exposes.
+func exactStateEqual(t *testing.T, got, want *StreamState, what string) {
+	t.Helper()
+	if got.Edges != want.Edges || got.HubTriangles != want.HubTriangles ||
+		got.HHH != want.HHH || got.HHN != want.HHN || got.HNN != want.HNN || got.NNN != want.NNN ||
+		got.MemoryBytes != want.MemoryBytes || got.Vertices != want.Vertices || got.Hubs != want.Hubs {
+		t.Fatalf("%s: state diverged:\n got %+v\nwant %+v", what, got, want)
+	}
+}
+
+// TestChaosKillRestartExact: an exact session fed adds and removes
+// through several snapshot rotations, killed without warning, must
+// recover bit-identically — exact counts are exact across crashes or
+// they are not exact at all.
+func TestChaosKillRestartExact(t *testing.T) {
+	dir := t.TempDir()
+	// A small snapshot threshold forces mid-test rotations, so the kill
+	// lands on a snapshot+WAL-tail mix, not a single giant log.
+	cfg := Config{SnapshotBytes: 8 << 10}
+	_, ts := newDurableServer(t, dir, cfg)
+
+	st := createStream(t, ts, `{"mode": "exact", "vertices": 2000, "hubs": [3, 1, 4, 15, 9, 2, 6], "count_non_hub": true}`)
+	if st.Durability != "wal" {
+		t.Fatalf("durable create reports durability %q, want wal", st.Durability)
+	}
+	g := gen.RMAT(gen.DefaultRMAT(11, 8, 5))
+	batches := graphBatches(g, 1500)
+	var last *StreamState
+	for i, b := range batches {
+		var rem [][2]uint32
+		if i%3 == 2 {
+			rem = batches[i-1][:len(batches[i-1])/2]
+		}
+		last = ingestOK(t, ts, st.ID, b, rem)
+	}
+	if last.HubTriangles == 0 || last.NNN == 0 {
+		t.Fatalf("test stream produced trivial counts: %+v", last)
+	}
+
+	ts.Close() // kill: no drain, no flush, WAL tail left as-is
+
+	s2, ts2 := newDurableServer(t, dir, cfg)
+	got := getStream(t, ts2, st.ID)
+	exactStateEqual(t, got, last, "after kill+restart")
+	if got.Durability != "wal" {
+		t.Fatalf("recovered session durability %q, want wal", got.Durability)
+	}
+	if s2.Metrics().Get(obs.StreamWALRecovered) != 1 {
+		t.Fatalf("stream.wal_recovered = %d, want 1", s2.Metrics().Get(obs.StreamWALRecovered))
+	}
+
+	// The recovered session is live: more ingest lands and a second
+	// kill+restart still agrees.
+	after := ingestOK(t, ts2, st.ID, [][2]uint32{{1, 2}, {2, 3}, {1, 3}}, nil)
+	if after.Edges < got.Edges {
+		t.Fatalf("post-recovery ingest lost edges: %d -> %d", got.Edges, after.Edges)
+	}
+	ts2.Close()
+	_, ts3 := newDurableServer(t, dir, cfg)
+	exactStateEqual(t, getStream(t, ts3, st.ID), after, "after second kill+restart")
+}
+
+// TestChaosKillRestartApproxBitIdentical: with the WAL still on its
+// genesis snapshot, replaying the full edge sequence with the
+// persisted seed must reproduce the estimator draw-for-draw — the
+// recovered estimate is bit-identical, not merely close.
+func TestChaosKillRestartApproxBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	// Huge threshold: no rotation, so recovery replays from genesis.
+	cfg := Config{SnapshotBytes: 1 << 40}
+	_, ts := newDurableServer(t, dir, cfg)
+
+	st := createStream(t, ts, `{"mode": "approx", "budget_bytes": 262144, "seed": 42}`)
+	g := gen.RMAT(gen.DefaultRMAT(11, 8, 6))
+	rng := rand.New(rand.NewSource(2))
+	var last *StreamState
+	for i, b := range graphBatches(g, 3000) {
+		var rem [][2]uint32
+		if i%2 == 1 {
+			for j := 0; j < 50; j++ {
+				rem = append(rem, b[rng.Intn(len(b))])
+			}
+		}
+		last = ingestOK(t, ts, st.ID, b, rem)
+	}
+	ts.Close() // kill
+
+	_, ts2 := newDurableServer(t, dir, cfg)
+	got := getStream(t, ts2, st.ID)
+	if math.Float64bits(got.Estimate) != math.Float64bits(last.Estimate) {
+		t.Fatalf("estimate not bit-identical after replay: %v vs %v", got.Estimate, last.Estimate)
+	}
+	if got.Edges != last.Edges || got.ReservoirEdges != last.ReservoirEdges ||
+		got.EdgesRemoved != last.EdgesRemoved || got.MemoryBytes != last.MemoryBytes {
+		t.Fatalf("approx state diverged:\n got %+v\nwant %+v", got, last)
+	}
+}
+
+// TestChaosAutoDegradeRecovery: an auto session that degraded
+// mid-stream recovers degraded with the same estimate — the
+// exact->approx flip replays deterministically from the WAL batch
+// order, with no explicit degrade record.
+func TestChaosAutoDegradeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{SnapshotBytes: 1 << 40}
+	_, ts := newDurableServer(t, dir, cfg)
+
+	// Budget above the empty exact universe's footprint but below the
+	// full adjacency, so the flip happens mid-stream.
+	sc, err := core.NewStreaming(1<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := createStream(t, ts, fmt.Sprintf(
+		`{"mode": "auto", "vertices": %d, "budget_bytes": %d, "seed": 17}`, 1<<10, sc.MemoryBytes()+8<<10))
+	if st.Degraded {
+		t.Fatalf("auto session born degraded: %+v", st)
+	}
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	var last *StreamState
+	for _, b := range graphBatches(g, 4000) {
+		last = ingestOK(t, ts, st.ID, b, nil)
+	}
+	if !last.Degraded {
+		t.Fatalf("auto session never degraded: %+v", last)
+	}
+	ts.Close() // kill
+
+	s2, ts2 := newDurableServer(t, dir, cfg)
+	got := getStream(t, ts2, st.ID)
+	if !got.Degraded || !got.Approx {
+		t.Fatalf("recovered session lost its degraded state: %+v", got)
+	}
+	if math.Float64bits(got.Estimate) != math.Float64bits(last.Estimate) ||
+		got.Edges != last.Edges || got.ReservoirEdges != last.ReservoirEdges {
+		t.Fatalf("degraded replay diverged:\n got %+v\nwant %+v", got, last)
+	}
+	if s2.Metrics().Get(obs.StreamWALFrames) == 0 {
+		t.Fatal("recovery claims zero WAL frames for an unflushed kill")
+	}
+}
+
+// TestChaosTruncatedWALTail: a torn final frame (the classic
+// crash-mid-write artifact) is clipped at the last valid frame; the
+// session recovers to the state before the torn batch and keeps
+// serving.
+func TestChaosTruncatedWALTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{SnapshotBytes: 1 << 40}
+	_, ts := newDurableServer(t, dir, cfg)
+
+	st := createStream(t, ts, `{"mode": "exact", "vertices": 500, "hubs": [0, 1, 2, 3, 4]}`)
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 8))
+	batches := graphBatches(g, 1000)
+	var beforeLast *StreamState
+	for i, b := range batches {
+		stNow := ingestOK(t, ts, st.ID, b, nil)
+		if i == len(batches)-2 {
+			beforeLast = stNow
+		}
+	}
+	ts.Close() // kill
+
+	// Tear the final frame: chop 3 bytes off the WAL tail.
+	walPath := filepath.Join(dir, "sessions", st.ID, walFileName(1))
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newDurableServer(t, dir, cfg)
+	got := getStream(t, ts2, st.ID)
+	exactStateEqual(t, got, beforeLast, "after torn-tail recovery")
+	if s2.Metrics().Get(obs.StreamWALTruncated) != 1 {
+		t.Fatalf("stream.wal_truncated = %d, want 1", s2.Metrics().Get(obs.StreamWALTruncated))
+	}
+	// The clipped file must now scan clean and the session must accept
+	// appends again; a further restart agrees.
+	after := ingestOK(t, ts2, st.ID, batches[len(batches)-1], nil)
+	ts2.Close()
+	_, ts3 := newDurableServer(t, dir, cfg)
+	exactStateEqual(t, getStream(t, ts3, st.ID), after, "after post-truncation ingest + restart")
+}
+
+// TestChaosCorruptSnapshotSkipped: a session whose snapshot rotted is
+// skipped (metric, directory left for inspection) without taking down
+// recovery of healthy sessions.
+func TestChaosCorruptSnapshotSkipped(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{SnapshotBytes: 1 << 40}
+	_, ts := newDurableServer(t, dir, cfg)
+	healthy := createStream(t, ts, `{"mode": "exact", "vertices": 100}`)
+	sick := createStream(t, ts, `{"mode": "exact", "vertices": 100}`)
+	hs := ingestOK(t, ts, healthy.ID, [][2]uint32{{1, 2}, {2, 3}, {1, 3}}, nil)
+	ingestOK(t, ts, sick.ID, [][2]uint32{{4, 5}}, nil)
+	ts.Close()
+
+	snapPath := filepath.Join(dir, "sessions", sick.ID, "snapshot.snap")
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newDurableServer(t, dir, cfg)
+	exactStateEqual(t, getStream(t, ts2, healthy.ID), hs, "healthy session")
+	if s2.Metrics().Get(obs.StreamRecoverSkipped) != 1 {
+		t.Fatalf("stream.recover_skipped = %d, want 1", s2.Metrics().Get(obs.StreamRecoverSkipped))
+	}
+	resp, err := http.Get(ts2.URL + "/v1/stream/" + sick.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt session answered %d, want 404", resp.StatusCode)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("corrupt session directory removed, want left for inspection: %v", err)
+	}
+}
+
+// TestChaosGracefulFlushAndRestart: SIGTERM-style shutdown (Close)
+// flushes a snapshot per session, so the restart replays zero WAL
+// frames and still lands on the identical state. Approx sessions
+// survive graceful restarts bit-identically even mid-stream, because
+// the flushed snapshot carries the reservoir itself.
+func TestChaosGracefulFlushAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{SnapshotBytes: 1 << 40}
+	s1, ts := newDurableServer(t, dir, cfg)
+
+	ex := createStream(t, ts, `{"mode": "exact", "vertices": 800, "hubs": [7, 2, 9]}`)
+	ap := createStream(t, ts, `{"mode": "approx", "budget_bytes": 65536, "seed": 4}`)
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 2))
+	var exLast, apLast *StreamState
+	for _, b := range graphBatches(g, 2500) {
+		exLast = ingestOK(t, ts, ex.ID, b, nil)
+		apLast = ingestOK(t, ts, ap.ID, b, nil)
+	}
+	ts.Close()
+	s1.Close() // graceful: drain + cancel builds + flush snapshots
+
+	s2, ts2 := newDurableServer(t, dir, cfg)
+	exactStateEqual(t, getStream(t, ts2, ex.ID), exLast, "exact after graceful restart")
+	apGot := getStream(t, ts2, ap.ID)
+	if math.Float64bits(apGot.Estimate) != math.Float64bits(apLast.Estimate) ||
+		apGot.Edges != apLast.Edges || apGot.ReservoirEdges != apLast.ReservoirEdges {
+		t.Fatalf("approx state diverged after graceful restart:\n got %+v\nwant %+v", apGot, apLast)
+	}
+	if frames := s2.Metrics().Get(obs.StreamWALFrames); frames != 0 {
+		t.Fatalf("graceful restart replayed %d WAL frames, want 0 (snapshot flushed)", frames)
+	}
+	// A mid-stream reservoir restore is reseeded, so from here the two
+	// histories may diverge — but the estimate must stay within the
+	// reported bound of further ingest.
+	after := ingestOK(t, ts2, ap.ID, [][2]uint32{{5, 6}, {6, 7}, {5, 7}}, nil)
+	if math.IsNaN(after.Estimate) || after.Estimate < 0 {
+		t.Fatalf("estimate broke after restored ingest: %+v", after)
+	}
+}
+
+// TestChaosDeleteRemovesPersistedState: deleting a session deletes
+// its directory; restart does not resurrect it.
+func TestChaosDeleteRemovesPersistedState(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newDurableServer(t, dir, Config{})
+	st := createStream(t, ts, `{"mode": "exact", "vertices": 100}`)
+	ingestOK(t, ts, st.ID, [][2]uint32{{1, 2}}, nil)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stream/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sessions", st.ID)); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived delete: %v", err)
+	}
+	ts.Close()
+	s2, _ := newDurableServer(t, dir, Config{})
+	if s2.streams.len() != 0 {
+		t.Fatalf("deleted session resurrected: %d live sessions", s2.streams.len())
+	}
+}
+
+// TestRecoveringReadiness: while recovery replays, /readyz (and the
+// legacy /healthz) answer 503 {"status":"recovering"} and session
+// endpoints refuse, but /livez stays 200 — restarting a recovering
+// process would only loop it.
+func TestRecoveringReadiness(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir()}
+	s := New(cfg) // Recover deliberately not called yet
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/readyz", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusServiceUnavailable || !contains(body, "recovering") {
+			t.Fatalf("%s during recovery: status %d body %s", path, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/livez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/livez during recovery: status %d body %s", resp.StatusCode, body)
+	}
+	if status, raw := postJSON(t, ts.URL+"/v1/stream", `{"mode": "approx"}`); status != http.StatusServiceUnavailable {
+		t.Fatalf("create during recovery: status %d: %s", status, raw)
+	}
+
+	s.Recover()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after recovery: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(len(s) > 0 && indexOf(s, sub) >= 0))
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestChaosWALFailureDegradesNotFails: permanent WAL failure never
+// fails ingest — the session flips to durability "degraded", keeps
+// counting, and /metrics says so.
+func TestChaosWALFailureDegradesNotFails(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, dir, Config{})
+	st := createStream(t, ts, `{"mode": "exact", "vertices": 100}`)
+	if st.Durability != "wal" {
+		t.Fatalf("durability %q, want wal", st.Durability)
+	}
+
+	if err := faults.Arm(FaultWALAppend, faults.Policy{Kind: faults.KindError, Permanent: true}); err != nil {
+		t.Fatal(err)
+	}
+	got := ingestOK(t, ts, st.ID, [][2]uint32{{1, 2}, {2, 3}, {1, 3}}, nil)
+	if got.Durability != "degraded" {
+		t.Fatalf("durability %q after WAL failure, want degraded", got.Durability)
+	}
+	if got.Edges != 3 {
+		t.Fatalf("ingest did not apply under WAL failure: %+v", got)
+	}
+	if s.Metrics().Get(obs.StreamWALDegraded) != 1 {
+		t.Fatalf("stream.wal_degraded = %d, want 1", s.Metrics().Get(obs.StreamWALDegraded))
+	}
+	faults.Reset()
+	// Still serving, still memory-only after the fault clears (only a
+	// successful snapshot re-arms durability — the shutdown flush does).
+	got = ingestOK(t, ts, st.ID, [][2]uint32{{3, 4}}, nil)
+	if got.Edges != 4 || got.Durability != "degraded" {
+		t.Fatalf("post-fault ingest: %+v", got)
+	}
+	ts.Close()
+	s.Close() // flush re-arms durability and persists the final state
+	s2, ts2 := newDurableServer(t, dir, Config{})
+	rec := getStream(t, ts2, st.ID)
+	if rec.Edges != 4 || rec.Durability != "wal" {
+		t.Fatalf("flushed degraded session recovered wrong: %+v", rec)
+	}
+	_ = s2
+}
+
+// TestChaosTransientFsyncRetried: a fsync that fails once and then
+// succeeds is absorbed by the bounded retry — no degradation, no
+// error, nothing lost across a kill.
+func TestChaosTransientFsyncRetried(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	_, ts := newDurableServer(t, dir, Config{})
+	st := createStream(t, ts, `{"mode": "exact", "vertices": 100}`)
+	if err := faults.Arm(FaultWALFsync, faults.Policy{Kind: faults.KindError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := ingestOK(t, ts, st.ID, [][2]uint32{{1, 2}, {2, 3}}, nil)
+	if got.Durability != "wal" {
+		t.Fatalf("transient fsync fault degraded the session: %+v", got)
+	}
+	faults.Reset()
+	ts.Close() // kill
+	_, ts2 := newDurableServer(t, dir, Config{})
+	if rec := getStream(t, ts2, st.ID); rec.Edges != 2 {
+		t.Fatalf("edges lost across retried fsync + kill: %+v", rec)
+	}
+}
+
+// TestChaosFaultInjectionEveryPoint arms each serving-path fault
+// point in turn and asserts the one invariant that matters: a 200
+// means the operation fully happened, an error means it observably
+// did not (or was absorbed by design), and no session or cache entry
+// is ever corrupted. Runs under -race via `make chaos`.
+func TestChaosFaultInjectionEveryPoint(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, dir, Config{})
+	st := createStream(t, ts, `{"mode": "exact", "vertices": 100}`)
+	base := ingestOK(t, ts, st.ID, [][2]uint32{{1, 2}}, nil)
+
+	t.Run("serve.ingest.apply transient", func(t *testing.T) {
+		defer faults.Reset()
+		if err := faults.Arm(FaultIngestApply, faults.Policy{Kind: faults.KindError}); err != nil {
+			t.Fatal(err)
+		}
+		status, raw := postJSON(t, ts.URL+"/v1/stream/"+st.ID+"/edges", ingestBody(t, [][2]uint32{{5, 6}}, nil))
+		if status != http.StatusServiceUnavailable || !contains(string(raw), "transient_fault") {
+			t.Fatalf("transient injected ingest: status %d: %s", status, raw)
+		}
+		faults.Reset()
+		if got := getStream(t, ts, st.ID); got.Edges != base.Edges {
+			t.Fatalf("refused ingest mutated the session: %+v", got)
+		}
+	})
+
+	t.Run("serve.ingest.apply permanent", func(t *testing.T) {
+		defer faults.Reset()
+		if err := faults.Arm(FaultIngestApply, faults.Policy{Kind: faults.KindError, Permanent: true}); err != nil {
+			t.Fatal(err)
+		}
+		status, raw := postJSON(t, ts.URL+"/v1/stream/"+st.ID+"/edges", ingestBody(t, [][2]uint32{{5, 6}}, nil))
+		if status != http.StatusInternalServerError || !contains(string(raw), "injected_fault") {
+			t.Fatalf("permanent injected ingest: status %d: %s", status, raw)
+		}
+	})
+
+	t.Run("serve.build transient retried", func(t *testing.T) {
+		defer faults.Reset()
+		// Fails the first two attempts; the third (last) retry succeeds.
+		if err := faults.Arm(FaultBuild, faults.Policy{Kind: faults.KindError, Count: 2}); err != nil {
+			t.Fatal(err)
+		}
+		status, raw := postJSON(t, ts.URL+"/v1/count",
+			`{"graph": {"type": "rmat", "scale": 7, "edge_factor": 8, "seed": 21}}`)
+		if status != http.StatusOK {
+			t.Fatalf("transient build fault not retried: status %d: %s", status, raw)
+		}
+		if decodeCount(t, raw).Triangles == 0 {
+			t.Fatal("retried build returned zero triangles")
+		}
+	})
+
+	t.Run("serve.build permanent fails fast then recovers", func(t *testing.T) {
+		defer faults.Reset()
+		if err := faults.Arm(FaultBuild, faults.Policy{Kind: faults.KindError, Permanent: true, Count: 1}); err != nil {
+			t.Fatal(err)
+		}
+		body := `{"graph": {"type": "rmat", "scale": 7, "edge_factor": 8, "seed": 22}}`
+		status, raw := postJSON(t, ts.URL+"/v1/count", body)
+		if status != http.StatusInternalServerError || !contains(string(raw), "injected_fault") {
+			t.Fatalf("permanent build fault: status %d: %s", status, raw)
+		}
+		// The failed flight retired; the next request builds cleanly.
+		if status, raw = postJSON(t, ts.URL+"/v1/count", body); status != http.StatusOK {
+			t.Fatalf("post-fault rebuild: status %d: %s", status, raw)
+		}
+	})
+
+	t.Run("serve.preprocess transient retried", func(t *testing.T) {
+		defer faults.Reset()
+		if err := faults.Arm(FaultPreprocess, faults.Policy{Kind: faults.KindError, Count: 1}); err != nil {
+			t.Fatal(err)
+		}
+		status, raw := postJSON(t, ts.URL+"/v1/count",
+			`{"graph": {"type": "rmat", "scale": 7, "edge_factor": 8, "seed": 23}}`)
+		if status != http.StatusOK {
+			t.Fatalf("transient preprocess fault not retried: status %d: %s", status, raw)
+		}
+	})
+
+	t.Run("serve.cache.admit skips caching, serves anyway", func(t *testing.T) {
+		defer faults.Reset()
+		if err := faults.Arm(FaultCacheAdmit, faults.Policy{Kind: faults.KindError, Count: 64}); err != nil {
+			t.Fatal(err)
+		}
+		body := `{"graph": {"type": "rmat", "scale": 7, "edge_factor": 8, "seed": 24}, "no_cache": true}`
+		status, raw := postJSON(t, ts.URL+"/v1/count", body)
+		if status != http.StatusOK {
+			t.Fatalf("admit-faulted count: status %d: %s", status, raw)
+		}
+		first := decodeCount(t, raw)
+		if s.Metrics().Get("cache.admit_faults") == 0 {
+			t.Fatal("cache.admit_faults never fired")
+		}
+		builds := s.Metrics().Get("cache.builds")
+		status, raw = postJSON(t, ts.URL+"/v1/count", body)
+		if status != http.StatusOK {
+			t.Fatalf("second admit-faulted count: status %d: %s", status, raw)
+		}
+		if decodeCount(t, raw).Triangles != first.Triangles {
+			t.Fatal("rebuild after admission fault changed the answer")
+		}
+		if s.Metrics().Get("cache.builds") <= builds {
+			t.Fatal("admission fault did not force a rebuild (entry was cached)")
+		}
+	})
+
+	t.Run("wal latency injection slows but never fails", func(t *testing.T) {
+		defer faults.Reset()
+		if err := faults.Arm(FaultWALAppend, faults.Policy{Kind: faults.KindLatency, Latency: 2 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		got := ingestOK(t, ts, st.ID, [][2]uint32{{7, 8}}, nil)
+		if got.Durability != "wal" {
+			t.Fatalf("latency fault degraded durability: %+v", got)
+		}
+	})
+
+	// Whatever faults fired above, the persisted state must still
+	// recover cleanly: fault injection may degrade, never corrupt.
+	final := getStream(t, ts, st.ID)
+	ts.Close()
+	s.Close()
+	_, ts2 := newDurableServer(t, dir, Config{})
+	exactStateEqual(t, getStream(t, ts2, st.ID), final, "after chaos suite")
+}
+
+// TestShutdownCancelsDetachedBuilds: Close cancels an in-flight
+// detached preprocess (its caller long gone on a 1ms deadline) and
+// waits for the goroutine — the goroutine count returns to baseline,
+// the leak check the drain path never had.
+func TestShutdownCancelsDetachedBuilds(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+
+	// A deadline far too short for a scale-13 build: the request 504s
+	// while the detached build keeps running.
+	status, raw := postJSON(t, ts.URL+"/v1/count",
+		`{"graph": {"type": "rmat", "scale": 13, "edge_factor": 16, "seed": 31}, "timeout_ms": 1}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("short-deadline count: status %d: %s", status, raw)
+	}
+
+	ts.Close()
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not cancel the in-flight detached build")
+	}
+	// The build goroutines must actually exit, not just be abandoned.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAdmitReleasesSlotOnDisconnectedClient: a queued request whose
+// context died may still win the semaphore race; admit must hand the
+// slot straight back instead of running work for a client that is
+// gone. With a cancelled context admit must always refuse, and the
+// semaphore must end every iteration empty.
+func TestAdmitReleasesSlotOnDisconnectedClient(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	for i := 0; i < 200; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // the client is already gone
+		rec := httptest.NewRecorder()
+		release, ok := s.admit(ctx, rec)
+		if ok {
+			release()
+			t.Fatalf("iteration %d: admitted a request with a dead context", i)
+		}
+		if rec.Code != http.StatusGatewayTimeout {
+			t.Fatalf("iteration %d: refused with %d, want 504", i, rec.Code)
+		}
+		if len(s.sem) != 0 {
+			t.Fatalf("iteration %d: semaphore slot leaked (%d held)", i, len(s.sem))
+		}
+	}
+	if s.met.Get("serve.queue_timeouts") != 200 {
+		t.Fatalf("serve.queue_timeouts = %d, want 200", s.met.Get("serve.queue_timeouts"))
+	}
+	_ = fmt.Sprint() // keep fmt imported alongside future debugging
+}

@@ -30,6 +30,7 @@ import (
 
 	"lotustc/internal/core"
 	"lotustc/internal/engine"
+	"lotustc/internal/faults"
 	"lotustc/internal/graph"
 	"lotustc/internal/obs"
 	"lotustc/internal/sched"
@@ -77,6 +78,23 @@ type Config struct {
 	// DefaultStreamMode applies when a create request names no mode:
 	// "exact", "approx" or "auto" (default "exact").
 	DefaultStreamMode string
+	// DataDir enables crash-safe session durability: every stream
+	// session gets an append-only WAL plus periodic snapshots under
+	// this directory, and Recover replays them at startup. Empty
+	// disables persistence (the prior behavior).
+	DataDir string
+	// WALSync is the WAL fsync policy: "always" (default; fsync every
+	// appended batch) or "none" (leave flushing to the OS — faster,
+	// but a host crash can lose recent batches; a process crash
+	// cannot).
+	WALSync string
+	// SnapshotBytes is the live-WAL size that triggers a snapshot +
+	// WAL rotation (default 1 MiB). Smaller bounds recovery replay
+	// tighter; larger amortizes snapshot cost over more batches.
+	SnapshotBytes int64
+	// DebugFaults mounts the /debug/faults endpoint for runtime fault
+	// injection. Never enable it on a production listener.
+	DebugFaults bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultStreamMode == "" {
 		c.DefaultStreamMode = "exact"
 	}
+	if c.WALSync == "" {
+		c.WALSync = "always"
+	}
+	if c.SnapshotBytes <= 0 {
+		c.SnapshotBytes = 1 << 20
+	}
 	return c
 }
 
@@ -140,6 +164,12 @@ type Server struct {
 	draining atomic.Bool
 	started  time.Time
 
+	// recovering gates the session endpoints and /readyz while Recover
+	// replays persisted sessions; it starts true when DataDir is set
+	// and flips false exactly once, when Recover returns.
+	recovering atomic.Bool
+	dur        *durability
+
 	streams *streamRegistry
 	mux     *http.ServeMux
 }
@@ -157,8 +187,22 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		streams: newStreamRegistry(cfg, met),
 		mux:     http.NewServeMux(),
+		dur: &durability{
+			dir:           cfg.DataDir,
+			syncAlways:    cfg.WALSync != "none",
+			snapshotBytes: cfg.SnapshotBytes,
+		},
 	}
+	// With a data dir the server boots not-ready until Recover runs;
+	// without one there is nothing to replay.
+	s.recovering.Store(s.dur.enabled())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleHealthz)
+	if cfg.DebugFaults {
+		s.mux.HandleFunc("GET /debug/faults", s.handleFaultsGet)
+		s.mux.HandleFunc("POST /debug/faults", s.handleFaultsPost)
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("POST /v1/count", s.handleCount)
@@ -244,6 +288,16 @@ func decodeJSON(r *http.Request, v any) error {
 // status: caller mistakes are 4xx, deadline expiry is 504, anything
 // else is the server's fault.
 func errStatus(err error) (int, string) {
+	var inj *faults.InjectedError
+	if errors.As(err, &inj) {
+		// Injected faults surface with their own codes so chaos runs can
+		// tell exercised failure paths from genuine breakage; the status
+		// split mirrors the taxonomy (transient: retry elsewhere/later).
+		if inj.Permanent {
+			return http.StatusInternalServerError, "injected_fault"
+		}
+		return http.StatusServiceUnavailable, "transient_fault"
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
@@ -293,6 +347,17 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 	select {
 	case s.sem <- struct{}{}:
 		s.queued.Add(-1)
+		// The semaphore send and ctx expiry can race: a queued request
+		// whose client disconnected (or deadline passed) may still win
+		// the slot. Re-check and hand the slot straight back instead of
+		// spending admitted capacity on a caller that is gone.
+		if ctx.Err() != nil {
+			<-s.sem
+			s.met.Add("serve.queue_timeouts", 1)
+			writeErr(w, http.StatusGatewayTimeout, "queue_timeout",
+				"request deadline expired while waiting for admission")
+			return nil, false
+		}
 		s.active.Add(1)
 		return func() { s.active.Add(-1); <-s.sem }, true
 	case <-ctx.Done():
@@ -309,9 +374,14 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 
 // getGraph returns the built graph for spec through the cache.
 func (s *Server) getGraph(ctx context.Context, spec *GraphSpec) (*graph.Graph, bool, error) {
-	v, hit, err := s.cache.getOrBuild(ctx, "graph:"+spec.Key(), func() (any, int64, error) {
+	v, hit, err := s.cache.getOrBuild(ctx, "graph:"+spec.Key(), func(bctx context.Context) (any, int64, error) {
 		g, err := spec.Build()
 		if err != nil {
+			return nil, 0, err
+		}
+		// Generation is not cancellable mid-build, but a build that
+		// outlived shutdown must not land in the cache.
+		if err := bctx.Err(); err != nil {
 			return nil, 0, err
 		}
 		return g, graphBytes(g), nil
@@ -335,14 +405,23 @@ func lotusKey(spec *GraphSpec, hubCount int, frontFraction float64) string {
 // request so a herd of deadline-bound callers still produces one
 // complete structure.
 func (s *Server) getLotus(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64) (*core.LotusGraph, bool, error) {
-	v, hit, err := s.cache.getOrBuild(ctx, lotusKey(spec, hubCount, frontFraction), func() (any, int64, error) {
-		pool := sched.NewPool(s.cfg.Workers)
+	v, hit, err := s.cache.getOrBuild(ctx, lotusKey(spec, hubCount, frontFraction), func(bctx context.Context) (any, int64, error) {
+		if err := faults.Inject(FaultPreprocess); err != nil {
+			return nil, 0, err
+		}
+		pool := sched.NewPool(s.cfg.Workers).Bind(bctx)
 		lg, err := core.TryPreprocess(g, core.Options{
 			HubCount:      hubCount,
 			FrontFraction: frontFraction,
 			Pool:          pool,
 		})
+		pool.Release()
 		if err != nil {
+			return nil, 0, err
+		}
+		// A cancelled pool yields a partial structure with a nil error;
+		// the context check keeps it out of the cache.
+		if err := bctx.Err(); err != nil {
 			return nil, 0, err
 		}
 		// Relabeling rides along for per-vertex queries: 4 bytes per
@@ -411,14 +490,22 @@ func (s *Server) getShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Gra
 }
 
 func (s *Server) tryShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64, p int) (*shard.Grid, bool, error) {
-	v, hit, err := s.cache.getOrBuild(ctx, shardPlanKey(spec, hubCount, frontFraction, p), func() (any, int64, error) {
+	v, hit, err := s.cache.getOrBuild(ctx, shardPlanKey(spec, hubCount, frontFraction, p), func(bctx context.Context) (any, int64, error) {
+		if err := faults.Inject(FaultPreprocess); err != nil {
+			return nil, 0, err
+		}
+		pool := sched.NewPool(s.cfg.Workers).Bind(bctx)
 		pl, err := shard.NewPlan(g, shard.Options{
 			Grid:          p,
 			HubCount:      hubCount,
 			FrontFraction: frontFraction,
-			Pool:          sched.NewPool(s.cfg.Workers),
+			Pool:          pool,
 		})
+		pool.Release()
 		if err != nil {
+			return nil, 0, err
+		}
+		if err := bctx.Err(); err != nil {
 			return nil, 0, err
 		}
 		return pl, pl.SizeBytes(), nil
@@ -430,9 +517,17 @@ func (s *Server) tryShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Gra
 	shards := make([]*core.LotusShard, p)
 	allHit := hit
 	for b := 0; b < p; b++ {
-		v, hitB, err := s.cache.getOrBuild(ctx, shardKey(spec, hubCount, frontFraction, p, b), func() (any, int64, error) {
-			sh, err := pl.BuildShard(g, b, sched.NewPool(s.cfg.Workers))
+		v, hitB, err := s.cache.getOrBuild(ctx, shardKey(spec, hubCount, frontFraction, p, b), func(bctx context.Context) (any, int64, error) {
+			if err := faults.Inject(FaultPreprocess); err != nil {
+				return nil, 0, err
+			}
+			pool := sched.NewPool(s.cfg.Workers).Bind(bctx)
+			sh, err := pl.BuildShard(g, b, pool)
+			pool.Release()
 			if err != nil {
+				return nil, 0, err
+			}
+			if err := bctx.Err(); err != nil {
 				return nil, 0, err
 			}
 			return sh, sh.TopologyBytes(), nil
@@ -878,13 +973,32 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // ---------------------------------------------------------------
 // Health and metrics.
 
+// handleHealthz is the readiness probe, also mounted at /readyz: 503
+// while draining (stop routing here, requests are finishing) or while
+// startup recovery replays persisted sessions. /healthz keeps the
+// readiness semantics it always had, so existing load-balancer checks
+// behave identically.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+// handleLivez is the liveness probe: 200 whenever the process can
+// answer HTTP at all — recovering and draining are healthy states, not
+// reasons to be restarted (restarting a recovering server loops it).
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "alive",
 		"uptime_ms": time.Since(s.started).Milliseconds(),
 	})
 }

@@ -557,7 +557,7 @@ func TestBuildCacheWaiterTimeout(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // expired before the wait starts
 	gate := make(chan struct{})
-	_, _, err := c.getOrBuild(ctx, "k", func() (any, int64, error) {
+	_, _, err := c.getOrBuild(ctx, "k", func(context.Context) (any, int64, error) {
 		<-gate
 		return "value", 5, nil
 	})
@@ -573,7 +573,7 @@ func TestBuildCacheWaiterTimeout(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	v, hit, err := c.getOrBuild(context.Background(), "k", func() (any, int64, error) {
+	v, hit, err := c.getOrBuild(context.Background(), "k", func(context.Context) (any, int64, error) {
 		t.Fatal("rebuilt a cached value")
 		return nil, 0, nil
 	})

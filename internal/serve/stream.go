@@ -3,12 +3,14 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"lotustc/internal/approx"
 	"lotustc/internal/core"
+	"lotustc/internal/faults"
 	"lotustc/internal/obs"
 	"lotustc/internal/sched"
 )
@@ -48,9 +50,27 @@ type streamSession struct {
 	tr *approx.Triest // guarded by mu; non-nil once approx
 
 	// degradeSeed/degradeWindow carry the estimator knobs an auto
-	// session applies if it later degrades.
+	// session applies if it later degrades; they are kept for every
+	// mode because snapshots persist them for deterministic recovery.
 	degradeSeed   int64
 	degradeWindow uint64
+
+	// Creation parameters, retained verbatim for snapshots: recovery
+	// rebuilds the exact counter's universe from them, and hub order
+	// matters (core.Streaming assigns dense hub indices in input
+	// order, and bit-identical recovery depends on the same mapping).
+	vertices    int
+	hubIDs      []uint32
+	countNonHub bool
+
+	// Durability plumbing (nil / zero when the server runs without a
+	// data dir). wal and the scratch slices are guarded by mu;
+	// walActive/durDegraded are atomics so streamState stays lock-free.
+	walGen           uint64
+	wal              *sessionWAL
+	walAdds, walRems [][2]uint32
+	walActive        atomic.Bool
+	durDegraded      atomic.Bool
 
 	snap     atomic.Pointer[approxSnapshot]
 	degraded atomic.Bool
@@ -123,15 +143,30 @@ func (r *streamRegistry) get(id string) (*streamSession, bool) {
 	return ss, ok
 }
 
-func (r *streamRegistry) delete(id string) bool {
+// take removes and returns a session, so the caller can tear down its
+// durability state (close the WAL, remove the directory) after it has
+// left the registry.
+func (r *streamRegistry) take(id string) (*streamSession, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.sessions[id]; !ok {
-		return false
+	ss, ok := r.sessions[id]
+	if !ok {
+		return nil, false
 	}
 	delete(r.sessions, id)
 	r.met.Add("stream.deleted", 1)
-	return true
+	return ss, true
+}
+
+// list snapshots the live sessions (shutdown flush iterates it).
+func (r *streamRegistry) list() []*streamSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*streamSession, 0, len(r.sessions))
+	for _, ss := range r.sessions {
+		out = append(out, ss)
+	}
+	return out
 }
 
 // ---------------------------------------------------------------
@@ -182,6 +217,12 @@ type StreamState struct {
 	Approx     bool `json:"approx"`
 	Degraded   bool `json:"degraded,omitempty"`
 	OverBudget bool `json:"over_budget,omitempty"`
+	// Durability reports the session's persistence state: "wal" when
+	// every batch is journaled, "degraded" when repeated WAL failures
+	// flipped the session to memory-only (it keeps serving; its state
+	// will not survive a crash), empty when the server runs without a
+	// data dir.
+	Durability string `json:"durability,omitempty"`
 
 	Vertices     int    `json:"vertices,omitempty"`
 	Hubs         int    `json:"hubs,omitempty"`
@@ -209,6 +250,11 @@ func streamState(ss *streamSession) *StreamState {
 		Mode:        ss.mode,
 		Confidence:  streamConfidence,
 		BudgetBytes: ss.budget,
+	}
+	if ss.walActive.Load() {
+		st.Durability = "wal"
+	} else if ss.durDegraded.Load() {
+		st.Durability = "degraded"
 	}
 	if sc := ss.sc.Load(); sc != nil {
 		hhh, hhn, hnn, nnn := sc.Classes()
@@ -250,6 +296,10 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
+	if s.recovering.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "recovering", "server is replaying persisted sessions")
+		return
+	}
 	var req StreamCreateRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
@@ -275,6 +325,10 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = int64(s.streams.nextID.Load()) + 1
 	}
+	// Every mode records its estimator knobs and (for exact/auto) its
+	// universe: snapshots persist them so recovery can rebuild the
+	// session exactly as created.
+	ss.degradeSeed, ss.degradeWindow = seed, req.Window
 	if mode == "approx" {
 		ss.tr = approx.NewTriestWindow(approx.ReservoirForBudget(ss.budget), req.Window, seed)
 		ss.publishSnapLocked()
@@ -299,6 +353,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sc.CountNonHub = req.CountNonHub
+		ss.vertices, ss.hubIDs, ss.countNonHub = req.Vertices, req.Hubs, req.CountNonHub
 		if sc.MemoryBytes() > ss.budget {
 			// The empty universe alone busts the budget: an auto session
 			// starts out degraded; an exact one is refused outright.
@@ -314,12 +369,20 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 			s.met.Add("stream.degraded", 1)
 		} else {
 			ss.sc.Store(sc)
-			ss.degradeSeed, ss.degradeWindow = seed, req.Window
 		}
 	}
 	if err := s.streams.add(ss); err != nil {
 		writeErr(w, http.StatusTooManyRequests, "stream_limit", err.Error())
 		return
+	}
+	if s.dur.enabled() {
+		// Genesis snapshot + first WAL generation. Failure here never
+		// fails the create: the session runs memory-only and says so.
+		ss.mu.Lock()
+		if err := s.snapshotLocked(ss); err != nil {
+			s.degradeDurabilityLocked(ss)
+		}
+		ss.mu.Unlock()
 	}
 	writeJSON(w, http.StatusCreated, streamState(ss))
 }
@@ -337,9 +400,26 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.streams.delete(r.PathValue("id")) {
+	if s.recovering.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "recovering", "server is replaying persisted sessions")
+		return
+	}
+	ss, ok := s.streams.take(r.PathValue("id"))
+	if !ok {
 		writeErr(w, http.StatusNotFound, "no_such_stream", "no such stream session")
 		return
+	}
+	// Deleting a session deletes its persisted state too: the registry
+	// entry is already gone, so no new ingest can race the teardown.
+	ss.mu.Lock()
+	if ss.wal != nil {
+		_ = ss.wal.close()
+		ss.wal = nil
+	}
+	ss.walActive.Store(false)
+	ss.mu.Unlock()
+	if s.dur.enabled() {
+		_ = os.RemoveAll(s.dur.sessionDir(ss.id))
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }
@@ -352,6 +432,15 @@ type StreamIngestRequest struct {
 }
 
 func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "recovering", "server is replaying persisted sessions")
+		return
+	}
+	if err := faults.Inject(FaultIngestApply); err != nil {
+		status, code := errStatus(err)
+		writeErr(w, status, code, err.Error())
+		return
+	}
 	ss, ok := s.streams.get(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no_such_stream", "no such stream session")
@@ -378,9 +467,16 @@ func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
 
 	// One writer at a time; out-of-range endpoints are ignored by
 	// the exact counter rather than refused, matching the loose
-	// semantics of an edge stream.
+	// semantics of an edge stream. The WAL append happens before the
+	// apply (write-ahead): every acknowledged batch is on disk, and a
+	// crash between append and ack merely replays a batch the client
+	// never saw confirmed — at-least-once, never lost.
 	ss.mu.Lock()
+	s.walAppendLocked(ss, adds, rems)
 	rejected := ss.applyLocked(s, adds, rems)
+	if !rejected {
+		s.maybeSnapshotLocked(ss)
+	}
 	state := streamState(ss)
 	ss.mu.Unlock()
 	if rejected {
@@ -506,6 +602,15 @@ func (b *preparedBatch) each(fn func(u, v uint32)) {
 			fn(e[0], e[1])
 		}
 	}
+}
+
+// flat appends the batch's edges to dst in apply order — the order
+// the WAL must preserve for deterministic replay.
+func (b *preparedBatch) flat(dst [][2]uint32) [][2]uint32 {
+	for _, p := range b.parts {
+		dst = append(dst, p...)
+	}
+	return dst
 }
 
 func (b *preparedBatch) release() {

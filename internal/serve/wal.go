@@ -1,0 +1,230 @@
+package serve
+
+// Session write-ahead log: the byte format and the file writer behind
+// crash-safe streaming sessions.
+//
+// A WAL file is a sequence of self-delimiting frames:
+//
+//	frame := uvarint(len(payload)) payload crc32c(payload)
+//
+// with the CRC in little-endian Castagnoli form. Frames are written
+// with positional writes at a tracked offset, so a failed append can
+// be retried idempotently and a crash can only ever produce a torn
+// *tail*: recovery scans frames until the first length/CRC violation
+// and clips there, never trusting anything past it.
+//
+// The only record today is a batch record — one ingest batch in apply
+// order, varint-delta encoded through the internal/compress
+// primitives:
+//
+//	payload := 'B' uvarint(nAdds) edgeStream uvarint(nRems) edgeStream
+//
+// Apply order is preserved because replay determinism depends on it:
+// an auto session's exact->approx flip point and the estimator's
+// sampling draws both follow the exact edge sequence.
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"lotustc/internal/compress"
+	"lotustc/internal/faults"
+)
+
+// walRecordBatch tags an ingest-batch record.
+const walRecordBatch = 'B'
+
+// maxWALPayload bounds a single frame's payload; a length prefix
+// beyond it is treated as corruption rather than an allocation
+// request (the decoder's input is untrusted disk state).
+const maxWALPayload = 1 << 26
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendWALFrame wraps payload in a length-prefixed CRC frame.
+func appendWALFrame(dst, payload []byte) []byte {
+	dst = compress.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// decodeWALFrame decodes one frame from the front of data, returning
+// the payload and the bytes consumed.
+func decodeWALFrame(data []byte) (payload []byte, consumed int, err error) {
+	plen, k := compress.ReadUvarint(data)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("serve: wal frame: truncated length prefix")
+	}
+	if plen > maxWALPayload {
+		return nil, 0, fmt.Errorf("serve: wal frame: payload length %d exceeds cap", plen)
+	}
+	start := k
+	end := start + int(plen) + 4
+	if end > len(data) {
+		return nil, 0, fmt.Errorf("serve: wal frame: truncated payload")
+	}
+	payload = data[start : start+int(plen)]
+	want := binary.LittleEndian.Uint32(data[start+int(plen) : end])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, 0, fmt.Errorf("serve: wal frame: CRC mismatch")
+	}
+	return payload, end, nil
+}
+
+// scanWALFrames walks data frame by frame, calling fn on each valid
+// payload. It returns the length of the clean prefix and whether the
+// whole input was clean: a torn or corrupt tail (or a frame whose
+// record fn rejects) stops the scan with clean=false, and everything
+// before it remains trustworthy — the crash-recovery contract.
+func scanWALFrames(data []byte, fn func(payload []byte) error) (validLen int64, clean bool) {
+	pos := 0
+	for pos < len(data) {
+		payload, consumed, err := decodeWALFrame(data[pos:])
+		if err != nil {
+			return int64(pos), false
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return int64(pos), false
+			}
+		}
+		pos += consumed
+	}
+	return int64(pos), true
+}
+
+// appendBatchRecord encodes one prepared ingest batch in apply order.
+func appendBatchRecord(dst []byte, adds, rems [][2]uint32) []byte {
+	dst = append(dst, walRecordBatch)
+	dst = compress.AppendUvarint(dst, uint64(len(adds)))
+	dst = compress.AppendEdgeStream(dst, adds)
+	dst = compress.AppendUvarint(dst, uint64(len(rems)))
+	return compress.AppendEdgeStream(dst, rems)
+}
+
+// decodeBatchRecord decodes a batch record payload.
+func decodeBatchRecord(p []byte) (adds, rems [][2]uint32, err error) {
+	if len(p) == 0 || p[0] != walRecordBatch {
+		return nil, nil, fmt.Errorf("serve: wal record: unknown kind")
+	}
+	pos := 1
+	readSide := func() ([][2]uint32, error) {
+		n, k := compress.ReadUvarint(p[pos:])
+		if k <= 0 || n > maxWALPayload {
+			return nil, fmt.Errorf("serve: wal record: bad edge count")
+		}
+		pos += k
+		edges, consumed, err := compress.ReadEdgeStream(p[pos:], int(n))
+		if err != nil {
+			return nil, fmt.Errorf("serve: wal record: %v", err)
+		}
+		pos += consumed
+		return edges, nil
+	}
+	if adds, err = readSide(); err != nil {
+		return nil, nil, err
+	}
+	if rems, err = readSide(); err != nil {
+		return nil, nil, err
+	}
+	if pos != len(p) {
+		return nil, nil, fmt.Errorf("serve: wal record: %d trailing bytes", len(p)-pos)
+	}
+	return adds, rems, nil
+}
+
+// ---------------------------------------------------------------
+// File writer.
+
+// sessionWAL appends frames to one session's live WAL file. Writes
+// are positional at a tracked offset, so retrying a failed append
+// overwrites the same region instead of duplicating the batch —
+// replaying a batch twice would bias an approx session's estimator
+// even though the exact counter dedups. Guarded by the session mutex
+// like the counters it journals.
+type sessionWAL struct {
+	path       string
+	f          *os.File
+	size       int64
+	syncAlways bool
+	rec, buf   []byte // encode scratch, reused across batches
+}
+
+// walRetryPolicy bounds the append/fsync retry loops: a handful of
+// quick attempts with jitter, then the caller degrades the session to
+// memory-only rather than failing ingest.
+var walRetryPolicy = faults.RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+
+// createWAL creates (truncating) a fresh WAL file.
+func createWAL(path string, syncAlways bool) (*sessionWAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionWAL{path: path, f: f, syncAlways: syncAlways}, nil
+}
+
+// openWALAppend opens an existing WAL for appends after size bytes of
+// validated prefix (recovery clips torn tails before calling this).
+func openWALAppend(path string, size int64, syncAlways bool) (*sessionWAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionWAL{path: path, f: f, size: size, syncAlways: syncAlways}, nil
+}
+
+// appendBatch journals one prepared batch: encode, positional write
+// (retried — idempotent by construction), then fsync per the sync
+// policy (retried separately so a sync retry never rewrites data).
+// Both phases pass their fault points; injected and real errors share
+// one path.
+func (w *sessionWAL) appendBatch(adds, rems [][2]uint32) error {
+	w.rec = appendBatchRecord(w.rec[:0], adds, rems)
+	w.buf = appendWALFrame(w.buf[:0], w.rec)
+	err := faults.Retry(context.Background(), walRetryPolicy, func() error {
+		if err := faults.Inject(FaultWALAppend); err != nil {
+			return err
+		}
+		n, err := w.f.WriteAt(w.buf, w.size)
+		if err != nil {
+			return err
+		}
+		if n != len(w.buf) {
+			return fmt.Errorf("serve: wal short write: %d of %d bytes", n, len(w.buf))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w.size += int64(len(w.buf))
+	return w.sync()
+}
+
+// sync flushes the file per the policy, through the wal.fsync fault
+// point with bounded retries.
+func (w *sessionWAL) sync() error {
+	if !w.syncAlways {
+		return nil
+	}
+	return faults.Retry(context.Background(), walRetryPolicy, func() error {
+		if err := faults.Inject(FaultWALFsync); err != nil {
+			return err
+		}
+		return w.f.Sync()
+	})
+}
+
+func (w *sessionWAL) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

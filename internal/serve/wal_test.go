@@ -1,0 +1,189 @@
+package serve
+
+// Unit tests of the WAL byte format: frame/record round trips, the
+// torn-tail clipping contract (every truncation point of a valid log
+// recovers exactly the frames before the tear), CRC corruption
+// detection, and a fuzzer over the frame+record decoder.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomBatch(rng *rand.Rand, n int) [][2]uint32 {
+	out := make([][2]uint32, n)
+	for i := range out {
+		u, v := rng.Uint32()%5000, rng.Uint32()%5000
+		if u == v {
+			v++
+		}
+		if u > v {
+			u, v = v, u
+		}
+		out[i] = [2]uint32{u, v}
+	}
+	return out
+}
+
+func TestWALFrameAndRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var log []byte
+	type batch struct{ adds, rems [][2]uint32 }
+	var want []batch
+	for i := 0; i < 50; i++ {
+		b := batch{adds: randomBatch(rng, rng.Intn(200)), rems: randomBatch(rng, rng.Intn(40))}
+		want = append(want, b)
+		log = appendWALFrame(log, appendBatchRecord(nil, b.adds, b.rems))
+	}
+	var got []batch
+	validLen, clean := scanWALFrames(log, func(p []byte) error {
+		adds, rems, err := decodeBatchRecord(p)
+		if err != nil {
+			return err
+		}
+		got = append(got, batch{adds, rems})
+		return nil
+	})
+	if !clean || validLen != int64(len(log)) {
+		t.Fatalf("clean log scanned dirty: validLen %d of %d, clean %v", validLen, len(log), clean)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d batches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !equalEdges(got[i].adds, want[i].adds) || !equalEdges(got[i].rems, want[i].rems) {
+			t.Fatalf("batch %d mutated in round trip", i)
+		}
+	}
+}
+
+func equalEdges(a, b [][2]uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWALTornTailClipping: truncating a valid log at EVERY byte
+// offset recovers exactly the complete frames before the cut — the
+// crash-safety contract recovery leans on.
+func TestWALTornTailClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var log []byte
+	var frameEnds []int64
+	for i := 0; i < 12; i++ {
+		log = appendWALFrame(log, appendBatchRecord(nil, randomBatch(rng, 1+rng.Intn(30)), nil))
+		frameEnds = append(frameEnds, int64(len(log)))
+	}
+	framesBefore := func(cut int64) int {
+		n := 0
+		for _, end := range frameEnds {
+			if end <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := 0; cut <= len(log); cut++ {
+		frames := 0
+		validLen, clean := scanWALFrames(log[:cut], func(p []byte) error {
+			if _, _, err := decodeBatchRecord(p); err != nil {
+				return err
+			}
+			frames++
+			return nil
+		})
+		if frames != framesBefore(int64(cut)) {
+			t.Fatalf("cut at %d: replayed %d frames, want %d", cut, frames, framesBefore(int64(cut)))
+		}
+		wantClean := validLen == int64(cut)
+		if clean != wantClean {
+			t.Fatalf("cut at %d: clean %v but validLen %d", cut, clean, validLen)
+		}
+		if clean && frames != len(frameEnds) && cut == len(log) {
+			t.Fatalf("full log lost frames: %d of %d", frames, len(frameEnds))
+		}
+	}
+}
+
+// TestWALCorruptionDetected: flipping any single byte of a frame is
+// caught by the CRC (or the structural checks) — the scan stops at
+// the corrupt frame and keeps everything before it.
+func TestWALCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	first := appendWALFrame(nil, appendBatchRecord(nil, randomBatch(rng, 20), nil))
+	second := appendWALFrame(nil, appendBatchRecord(nil, randomBatch(rng, 20), nil))
+	log := append(append([]byte{}, first...), second...)
+	for i := len(first); i < len(log); i++ {
+		corrupt := append([]byte{}, log...)
+		corrupt[i] ^= 0x40
+		frames := 0
+		validLen, clean := scanWALFrames(corrupt, func(p []byte) error {
+			if _, _, err := decodeBatchRecord(p); err != nil {
+				return err
+			}
+			frames++
+			return nil
+		})
+		if clean && bytes.Equal(corrupt, log) {
+			continue // flip landed on an identical byte (cannot happen with ^0x40)
+		}
+		if frames > 1 || validLen > int64(len(first)) {
+			t.Fatalf("flip at %d: corrupt second frame survived (frames %d, validLen %d)", i, frames, validLen)
+		}
+		if frames != 1 {
+			t.Fatalf("flip at %d: first (intact) frame lost", i)
+		}
+	}
+}
+
+func TestBatchRecordRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"unknown kind":  {'X', 0, 0},
+		"bad count":     {'B', 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+		"truncated":     append([]byte{'B'}, 5),
+		"trailing junk": append(appendBatchRecord(nil, [][2]uint32{{1, 2}}, nil), 0xAA),
+	}
+	for name, p := range cases {
+		if _, _, err := decodeBatchRecord(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzWALDecode drives the frame scanner + record decoder over
+// arbitrary bytes: it must never panic and never return more payload
+// than the input holds. Wired into `make fuzz`.
+func FuzzWALDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	f.Add([]byte{})
+	f.Add(appendWALFrame(nil, appendBatchRecord(nil, randomBatch(rng, 10), randomBatch(rng, 3))))
+	long := appendWALFrame(nil, appendBatchRecord(nil, randomBatch(rng, 100), nil))
+	long = appendWALFrame(long, appendBatchRecord(nil, nil, randomBatch(rng, 9)))
+	f.Add(long)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		validLen, clean := scanWALFrames(data, func(p []byte) error {
+			_, _, err := decodeBatchRecord(p)
+			return err
+		})
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d out of range [0, %d]", validLen, len(data))
+		}
+		if clean && validLen != int64(len(data)) {
+			t.Fatalf("clean scan stopped early: %d of %d", validLen, len(data))
+		}
+		// Re-scanning the clean prefix must be clean and full — the
+		// property recovery's truncate step depends on.
+		if re, reclean := scanWALFrames(data[:validLen], nil); !reclean || re != validLen {
+			t.Fatalf("clean prefix rescans dirty: %d/%v", re, reclean)
+		}
+	})
+}
