@@ -27,6 +27,12 @@ check:
 	$(GO) test -race ./internal/approx/
 	$(GO) test -race -run 'TestReadLotusGraph|TestLotusGraphRoundTrip|TestStreaming' ./internal/core/
 	$(GO) test -race -run 'TestShardEquivalence' ./internal/shard/
+	# Allocation gates run without -race (instrumentation changes the
+	# profile they assert on): zero allocs/op on the warm /v1/count hit,
+	# pooled-arena rehydration, slab reuse in DecodeInto. The race pass
+	# over ./internal/serve/ above already hammers the same pool paths
+	# concurrently.
+	$(GO) test -run 'ZeroAlloc|Rehydration|ArenaIsolation|DecodeIntoReusesArena' ./internal/serve/ ./internal/compress/
 
 race:
 	$(GO) test -race ./internal/... .
@@ -35,15 +41,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable comparator sweep with full metrics; BENCH_PR7.json
+# Machine-readable comparator sweep with full metrics; BENCH_PR9.json
 # is the artifact future PRs diff for perf trajectories (BENCH_PR2,
-# BENCH_PR5 and BENCH_PR6 are the earlier snapshots). Scale 15 so the
-# phase-1 kernel ablation rows (lotus/phase1=*, lotus/intersect=*),
-# the sharded p=1/2/4 sweep (lotus-sharded/p=*) and the new
-# streaming-ingest throughput rows (stream-ingest/exact vs approx)
-# measure real work.
+# BENCH_PR5, BENCH_PR6 and BENCH_PR7 are the earlier snapshots).
+# Scale 15 so the phase-1 kernel ablation rows (lotus/phase1=*,
+# lotus/intersect=*), the sharded p=1/2/4 sweep (lotus-sharded/p=*),
+# the streaming-ingest throughput rows (stream-ingest/exact vs approx)
+# and the new serve-cache residency rows (serve-cache/raw vs
+# compressed: resident graphs per byte budget, warm-hit p50) measure
+# real work.
 bench-report:
-	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR7.json
+	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR9.json
 
 # Randomized cross-validation of every algorithm and extension.
 verify:

@@ -47,7 +47,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		addr       = fs.String("addr", ":8090", "listen address")
 		cacheBytes = fs.Int64("cache-bytes", 1<<30, "graph + LOTUS structure cache budget in bytes")
-		maxStruct  = fs.Int64("max-structure-bytes", 0, "single-structure budget; larger lotus counts route through per-shard structures (0 = cache-bytes)")
+		compCache  = fs.Bool("compress-cache", false, "demote cold cached graphs to varint-compressed payloads instead of evicting; misses decompress on demand into pooled arenas")
+		demoteWM   = fs.Float64("demote-watermark", 0, "with -compress-cache, fraction of -cache-bytes kept for decoded graphs; the rest budgets the compressed tier (0 = 0.5)")
+		maxStruct  = fs.Int64("max-structure-bytes", 0, "single-structure budget; larger lotus counts route through per-shard structures (0 = cache-bytes, or the decoded tier with -compress-cache)")
 		maxConc    = fs.Int("max-concurrent", 4, "counting requests admitted at once")
 		maxQueue   = fs.Int("max-queue", 64, "requests allowed to wait for admission before 429")
 		defTimeout = fs.Duration("default-timeout", 60*time.Second, "per-request timeout when the request names none")
@@ -88,8 +90,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *demoteWM < 0 || *demoteWM >= 1 {
+		fmt.Fprintf(stderr, "lotus-serve: -demote-watermark %g: must be in [0, 1)\n", *demoteWM)
+		return 2
+	}
 	cfg := serve.Config{
 		CacheBytes:        *cacheBytes,
+		CompressCache:     *compCache,
+		DemoteWatermark:   *demoteWM,
 		MaxStructureBytes: *maxStruct,
 		MaxConcurrent:     *maxConc,
 		MaxQueue:          *maxQueue,

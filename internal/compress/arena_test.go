@@ -1,0 +1,54 @@
+package compress
+
+import (
+	"reflect"
+	"testing"
+
+	"lotustc/internal/gen"
+)
+
+// TestDecodeIntoReusesArena: a warmed arena must be reused across
+// decodes — same slabs, no regrowth — and the decoded graph must
+// match a fresh Decode exactly.
+func TestDecodeIntoReusesArena(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 42))
+	c := Encode(g)
+	a := new(Arena)
+	first, err := c.DecodeInto(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Offsets(), g.Offsets()) || !reflect.DeepEqual(first.RawNeighbors(), g.RawNeighbors()) {
+		t.Fatal("decoded graph differs from original")
+	}
+	off, nbr := &a.Offsets[0], &a.Nbrs[0]
+	second, err := c.DecodeInto(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.Offsets[0] != off || &a.Nbrs[0] != nbr {
+		t.Fatal("warmed arena reallocated its slabs on re-decode")
+	}
+	if !reflect.DeepEqual(second.Offsets(), g.Offsets()) || !reflect.DeepEqual(second.RawNeighbors(), g.RawNeighbors()) {
+		t.Fatal("re-decoded graph differs from original")
+	}
+	// Steady state: the only allocation a warmed decode makes is the
+	// *Graph header itself.
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.DecodeInto(a); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("warmed DecodeInto allocates %v/op, want ≤ 1 (the graph header)", allocs)
+	}
+}
+
+// TestArenaSizeBytes pins the footprint accounting the cache's pool
+// cap relies on.
+func TestArenaSizeBytes(t *testing.T) {
+	a := &Arena{Offsets: make([]int64, 0, 10), Nbrs: make([]uint32, 0, 20)}
+	if got := a.SizeBytes(); got != 8*10+4*20 {
+		t.Fatalf("SizeBytes = %d, want %d", got, 8*10+4*20)
+	}
+}

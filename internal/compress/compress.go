@@ -30,6 +30,7 @@ type CompressedGraph struct {
 	offsets []int64 // byte offsets into data, len |V|+1
 	data    []byte
 	n       int
+	m       int64 // total neighbour entries across all lists
 	// Oriented mirrors graph.Graph.Oriented.
 	Oriented bool
 }
@@ -72,11 +73,16 @@ func Encode(g *graph.Graph) *CompressedGraph {
 			prev = int64(u)
 		}
 	}
-	return &CompressedGraph{offsets: offsets, data: data, n: n, Oriented: g.Oriented}
+	return &CompressedGraph{offsets: offsets, data: data, n: n, m: g.NumDirectedEdges(), Oriented: g.Oriented}
 }
 
 // NumVertices returns |V|.
 func (c *CompressedGraph) NumVertices() int { return c.n }
+
+// NumNeighborEntries returns the total neighbour-ID count across all
+// lists — the exact decoded slab size, so arena-aware decoding sizes
+// its allocation without a first decode pass.
+func (c *CompressedGraph) NumNeighborEntries() int64 { return c.m }
 
 // SizeBytes returns the compressed topology footprint: the byte
 // stream plus the 8-byte offset array.
@@ -133,8 +139,40 @@ func (it *Iter) Next() (uint32, bool) {
 
 // Decode reconstructs the plain CSX graph and validates the stream.
 func (c *CompressedGraph) Decode() (*graph.Graph, error) {
-	offsets := make([]int64, c.n+1)
-	nbrs := make([]uint32, 0, len(c.data))
+	return c.DecodeInto(new(Arena))
+}
+
+// Arena holds the reusable decode slabs DecodeInto fills: the CSX
+// offset and neighbour arrays. A resident cache recycles arenas
+// through a capped sync.Pool so decompress-on-demand reuses slabs
+// instead of allocating fresh ones per rehydration. The decoded
+// graph aliases the arena, so an arena must only be recycled once no
+// live graph references it.
+type Arena struct {
+	Offsets []int64
+	Nbrs    []uint32
+}
+
+// SizeBytes returns the slab capacity footprint of the arena.
+func (a *Arena) SizeBytes() int64 {
+	return 8*int64(cap(a.Offsets)) + 4*int64(cap(a.Nbrs))
+}
+
+// DecodeInto reconstructs the plain CSX graph into a's slabs, growing
+// them only when capacity falls short, and validates the stream. The
+// returned graph aliases the arena's storage: the caller owns the
+// lifetime coupling between the two.
+func (c *CompressedGraph) DecodeInto(a *Arena) (*graph.Graph, error) {
+	if cap(a.Offsets) < c.n+1 {
+		a.Offsets = make([]int64, c.n+1)
+	}
+	// a.Nbrs must come out non-nil even for an edgeless graph so a
+	// decoded graph is indistinguishable from the built original.
+	if a.Nbrs == nil || int64(cap(a.Nbrs)) < c.m {
+		a.Nbrs = make([]uint32, 0, c.m)
+	}
+	offsets := a.Offsets[:c.n+1]
+	nbrs := a.Nbrs[:0]
 	for v := 0; v < c.n; v++ {
 		offsets[v] = int64(len(nbrs))
 		it := c.Iter(uint32(v))
@@ -158,6 +196,7 @@ func (c *CompressedGraph) Decode() (*graph.Graph, error) {
 		}
 	}
 	offsets[c.n] = int64(len(nbrs))
+	a.Offsets, a.Nbrs = offsets, nbrs
 	return graph.New(offsets, nbrs, c.Oriented), nil
 }
 

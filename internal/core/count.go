@@ -82,6 +82,40 @@ type CountOptions struct {
 	// in bulk at phase boundaries, so a nil Metrics costs nothing on
 	// the hot path.
 	Metrics *obs.Metrics
+	// Scratch, when non-nil, supplies reusable per-worker kernel
+	// scratch so a resident service's warm counts stop allocating
+	// phase-1 hub bitmaps per request. One CountScratch must never be
+	// used by two concurrent counts; sequential reuse across graphs
+	// and hub counts is fine (the slabs regrow on demand).
+	Scratch *CountScratch
+}
+
+// CountScratch holds reusable per-worker kernel scratch across
+// sequential counts. The zero value is ready to use.
+type CountScratch struct {
+	phase1  *sched.WorkerLocal[phase1Scratch]
+	workers int
+	bmWords int
+}
+
+// NewCountScratch returns an empty scratch set; slabs materialize on
+// first use and are reused while the worker count and hub-bitmap
+// width keep fitting.
+func NewCountScratch() *CountScratch { return &CountScratch{} }
+
+// phase1Local returns per-worker phase-1 scratch for (workers,
+// bmWords), recycling the previous count's bitmaps when the worker
+// count matches and the slabs are wide enough. The kernel's bitmap
+// invariant (cleared after every tile) makes stale contents harmless.
+func (s *CountScratch) phase1Local(workers, bmWords int) *sched.WorkerLocal[phase1Scratch] {
+	if s.phase1 == nil || workers != s.workers || bmWords > s.bmWords {
+		width := bmWords
+		s.phase1 = sched.NewWorkerLocal(workers, func() *phase1Scratch {
+			return &phase1Scratch{bm: make([]uint64, width)}
+		})
+		s.workers, s.bmWords = workers, bmWords
+	}
+	return s.phase1
 }
 
 // DefaultTileThreshold is the paper's tiling cutoff (§5.8).
@@ -311,9 +345,14 @@ func (lg *LotusGraph) countPhase1(pool *sched.Pool, opt CountOptions, res *Resul
 	scalarRows := sched.NewAccumulator(pool.Workers())
 
 	bmWords := (int(lg.HubCount) + 63) / 64
-	scratch := sched.NewWorkerLocal(pool.Workers(), func() *phase1Scratch {
-		return &phase1Scratch{bm: make([]uint64, bmWords)}
-	})
+	var scratch *sched.WorkerLocal[phase1Scratch]
+	if opt.Scratch != nil {
+		scratch = opt.Scratch.phase1Local(pool.Workers(), bmWords)
+	} else {
+		scratch = sched.NewWorkerLocal(pool.Workers(), func() *phase1Scratch {
+			return &phase1Scratch{bm: make([]uint64, bmWords)}
+		})
+	}
 	kernel := opt.Phase1Kernel
 
 	processPairs := func(s *phase1Scratch, v uint32, lo, hi uint32) (found uint64, st phase1Stats) {

@@ -88,6 +88,7 @@ func lotusKernel(t *Task) (uint64, error) {
 		HNNBlocks:     t.Params.HNNBlocks,
 		WorkStealing:  t.Params.WorkStealing,
 		Metrics:       t.Metrics(),
+		Scratch:       t.Params.Scratch,
 	}
 	if t.Params.EdgeBalancedTiling {
 		copt.Partitioner = core.EdgeBalanced

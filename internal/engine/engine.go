@@ -110,6 +110,12 @@ type Params struct {
 	// phase. Mismatches (vertex count, or a grid dimension that
 	// contradicts a nonzero Shards) wrap ErrPreparedMismatch.
 	PreparedGrid *shard.Grid
+	// Scratch supplies reusable per-worker kernel scratch to the
+	// "lotus" kernel (see core.CountOptions.Scratch); a resident
+	// service pools these across requests so warm counts reuse their
+	// phase-1 bitmaps. Never share one instance between concurrent
+	// runs. Other kernels ignore it.
+	Scratch *core.CountScratch
 }
 
 // Phase is one timed stage of a run.

@@ -118,6 +118,11 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 	if ds := s.Datasets(); len(ds) > 0 && s.Context().Err() == nil {
 		streamIngestRuns(br, ds[0], ds[0].Build())
 	}
+	// Serving-layer residency rows: resident graphs per byte budget and
+	// warm-hit latency, raw vs compressed cache (the PR 9 metric).
+	if s.Context().Err() == nil {
+		serveCacheRuns(br, workers)
+	}
 	return br
 }
 

@@ -54,8 +54,9 @@ func TestBuildBenchReport(t *testing.T) {
 		t.Fatalf("bad envelope: %+v", br)
 	}
 	// +2: the streaming-ingest throughput rows (exact and approx) on
-	// the first dataset.
-	wantRuns := len(s.Datasets())*(len(BenchAlgorithms)+len(benchKernelVariants)+len(benchShardVariants)) + 2
+	// the first dataset. +2 again: the serve-cache residency rows (raw
+	// and compressed).
+	wantRuns := len(s.Datasets())*(len(BenchAlgorithms)+len(benchKernelVariants)+len(benchShardVariants)) + 4
 	if len(br.Runs) != wantRuns {
 		t.Fatalf("got %d runs, want %d", len(br.Runs), wantRuns)
 	}
@@ -91,7 +92,21 @@ func TestBuildBenchReport(t *testing.T) {
 	// matches the comparators, the approx row is an estimate.
 	counts := map[string]uint64{}
 	streamRows := 0
+	serveRows := 0
 	for _, r := range br.Runs {
+		if strings.HasPrefix(r.Algorithm, "serve-cache/") {
+			serveRows++
+			if r.Error != "" {
+				t.Fatalf("%s failed: %s", r.Algorithm, r.Error)
+			}
+			if r.Metrics["serve.resident_graphs"] <= 0 || r.Metrics["serve.warm_hit_p50_ns"] <= 0 {
+				t.Fatalf("%s: residency instrumentation missing: %v", r.Algorithm, r.Metrics)
+			}
+			if r.Algorithm == "serve-cache/compressed" && r.Metrics["serve.demotions"] <= 0 {
+				t.Fatalf("serve-cache/compressed saw no demotions: %v", r.Metrics)
+			}
+			continue
+		}
 		if strings.HasPrefix(r.Algorithm, "stream-ingest/") {
 			streamRows++
 			if r.Metrics["stream.edges_per_sec"] <= 0 || r.Metrics["stream.memory_bytes"] <= 0 {
@@ -124,6 +139,9 @@ func TestBuildBenchReport(t *testing.T) {
 	}
 	if streamRows != 2 {
 		t.Fatalf("got %d stream-ingest rows, want 2", streamRows)
+	}
+	if serveRows != 2 {
+		t.Fatalf("got %d serve-cache rows, want 2", serveRows)
 	}
 	// The exact ingest row replays the whole edge stream through the
 	// streaming counter with NNN counting on: it must reproduce the

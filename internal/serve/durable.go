@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"lotustc/internal/approx"
 	"lotustc/internal/compress"
@@ -92,10 +93,16 @@ type sessionSnapshot struct {
 	edges       [][2]uint32         // exact edge set otherwise
 }
 
-// encodeSessionSnapshot serializes the session's full restart state.
-// Caller holds ss.mu, so the counters are quiescent.
-func encodeSessionSnapshot(ss *streamSession, walGen uint64) ([]byte, error) {
-	p := make([]byte, 0, 256)
+// snapBufPool recycles snapshot payload and frame buffers across the
+// periodic snapshot cadence; a busy exact session re-serializes its
+// whole edge set every SnapshotBytes of WAL, so the slabs are worth
+// keeping warm.
+var snapBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// encodeSessionSnapshot serializes the session's full restart state
+// into dst. Caller holds ss.mu, so the counters are quiescent.
+func encodeSessionSnapshot(dst []byte, ss *streamSession, walGen uint64) ([]byte, error) {
+	p := dst
 	p = append(p, snapshotMagic, snapshotVersion)
 	var modeB byte
 	switch ss.mode {
@@ -295,11 +302,14 @@ func (s *Server) snapshotLocked(ss *streamSession) error {
 		return err
 	}
 	gen := ss.walGen + 1
-	payload, err := encodeSessionSnapshot(ss, gen)
-	if err != nil {
-		return err
+	pb := snapBufPool.Get().(*[]byte)
+	payload, err := encodeSessionSnapshot((*pb)[:0], ss, gen)
+	if err == nil {
+		err = writeSnapshotFile(sdir, payload)
 	}
-	if err := writeSnapshotFile(sdir, payload); err != nil {
+	*pb = payload[:0]
+	snapBufPool.Put(pb)
+	if err != nil {
 		return err
 	}
 	w, err := createWAL(filepath.Join(sdir, walFileName(gen)), s.dur.syncAlways)
@@ -322,7 +332,9 @@ func (s *Server) snapshotLocked(ss *streamSession) error {
 // tmp/rename dance. The fsyncs pass the wal.fsync fault point with the
 // same bounded retries as the live WAL.
 func writeSnapshotFile(sdir string, payload []byte) error {
-	frame := appendWALFrame(make([]byte, 0, len(payload)+16), payload)
+	fb := snapBufPool.Get().(*[]byte)
+	frame := appendWALFrame((*fb)[:0], payload)
+	defer func() { *fb = frame[:0]; snapBufPool.Put(fb) }()
 	tmp := filepath.Join(sdir, "snapshot.tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

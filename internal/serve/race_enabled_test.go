@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that the race detector is compiled in; the
+// allocation-gate tests skip under it because instrumentation changes
+// the allocation profile they assert on.
+const raceEnabled = true

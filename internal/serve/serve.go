@@ -18,12 +18,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,8 +45,22 @@ type Config struct {
 	// CacheBytes budgets the graph + LOTUS structure LRU (default
 	// 1 GiB).
 	CacheBytes int64
+	// CompressCache enables the compressed residency tier: decoded
+	// graphs evicted from the cache are demoted to their
+	// varint-compressed payloads (charged at SizeBytes()) instead of
+	// dying, and a later request decompresses on demand into a pooled
+	// arena. At a fixed CacheBytes budget this keeps several times
+	// more graphs resident.
+	CompressCache bool
+	// DemoteWatermark splits CacheBytes when CompressCache is on: the
+	// decoded tier keeps this fraction of the budget and the
+	// compressed tier gets the remainder (default 0.5). Lower values
+	// favor many compressed residents over few decoded ones.
+	DemoteWatermark float64
 	// MaxStructureBytes caps the estimated size of a single resident
-	// LOTUS structure (default CacheBytes). A "lotus" count whose
+	// LOTUS structure (default CacheBytes; with CompressCache on, the
+	// decoded tier's budget, since only that tier can hold a decoded
+	// structure). A "lotus" count whose
 	// monolithic structure would exceed it is routed through the
 	// sharded path instead: per-shard structures are cached as
 	// independent LRU entries, so graphs too big for one cacheable
@@ -101,8 +117,14 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 1 << 30
 	}
+	if c.CompressCache && (c.DemoteWatermark <= 0 || c.DemoteWatermark >= 1) {
+		c.DemoteWatermark = defaultDemoteWatermark
+	}
 	if c.MaxStructureBytes <= 0 {
 		c.MaxStructureBytes = c.CacheBytes
+		if c.CompressCache {
+			c.MaxStructureBytes = cacheConfig{maxBytes: c.CacheBytes, compress: true, watermark: c.DemoteWatermark}.decodedBudget()
+		}
 	}
 	if c.ResultEntries <= 0 {
 		c.ResultEntries = 512
@@ -156,7 +178,12 @@ type Server struct {
 	cache *buildCache // "graph:" and "lotus:" entries share one budget
 
 	resMu   sync.Mutex
-	results *lru // result memoization: key -> *CountResponse
+	results *lru // result memoization: key -> *cachedResult
+
+	// scratch recycles per-worker kernel scratch across lotus counts
+	// so the warm-structure path reuses its phase-1 bitmaps instead of
+	// allocating them per request.
+	scratch sync.Pool // *core.CountScratch
 
 	sem      chan struct{}
 	queued   atomic.Int64
@@ -181,10 +208,11 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		met:     met,
-		cache:   newBuildCache("cache", cfg.CacheBytes, met),
+		cache:   newBuildCache("cache", cacheConfig{maxBytes: cfg.CacheBytes, compress: cfg.CompressCache, watermark: cfg.DemoteWatermark}, met),
 		results: newLRU(int64(cfg.ResultEntries)),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
+		scratch: sync.Pool{New: func() any { return core.NewCountScratch() }},
 		streams: newStreamRegistry(cfg, met),
 		mux:     http.NewServeMux(),
 		dur: &durability{
@@ -256,12 +284,45 @@ type apiErr struct {
 	Status int    `json:"status"`
 }
 
+// jsonContentType is assigned into the header map directly — one
+// shared immutable slice instead of a per-request Set allocation.
+var jsonContentType = []string{"application/json"}
+
+// jsonBufPool recycles response-encoding buffers; oversized ones
+// (huge topk listings) are dropped rather than pinned in the pool.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBufBytes = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Unreachable for the API response types; guard so a future
+		// unencodable field fails loudly instead of answering garbage.
+		buf.Reset()
+		status = http.StatusInternalServerError
+		_ = enc.Encode(apiErr{Error: err.Error(), Code: "encode_error", Status: status})
+	}
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBufBytes {
+		jsonBufPool.Put(buf)
+	}
+}
+
+// renderJSON pre-renders a response exactly as writeJSON would emit
+// it, for memoized results that are served as raw bytes on warm hits.
+func renderJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	return buf.Bytes()
 }
 
 func writeErr(w http.ResponseWriter, status int, code, msg string) {
@@ -372,10 +433,29 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 // ---------------------------------------------------------------
 // Cached builds.
 
-// getGraph returns the built graph for spec through the cache.
-func (s *Server) getGraph(ctx context.Context, spec *GraphSpec) (*graph.Graph, bool, error) {
-	v, hit, err := s.cache.getOrBuild(ctx, "graph:"+spec.Key(), func(bctx context.Context) (any, int64, error) {
-		g, err := spec.Build()
+// getGraph returns the built graph for spec through the cache. The
+// returned release pins the graph's backing storage for the caller:
+// a graph rehydrated from the compressed tier lives in a pooled
+// arena, and release is what lets that arena recycle once no request
+// uses it. Callers must invoke release exactly once, after their last
+// access to the graph.
+// copySpec returns a spec a detached build closure may hold: the
+// handler's pooled *CountRequest — this spec included — is reset and
+// repooled the moment the handler returns, while the closure can
+// outlive it. The inline edge list is cloned for the same reason: its
+// backing array would be appended into by the next request.
+func copySpec(spec *GraphSpec) GraphSpec {
+	c := *spec
+	if len(c.Edges) > 0 {
+		c.Edges = append([][2]uint32(nil), c.Edges...)
+	}
+	return c
+}
+
+func (s *Server) getGraph(ctx context.Context, spec *GraphSpec) (*graph.Graph, bool, func(), error) {
+	bspec := copySpec(spec)
+	v, hit, rel, err := s.cache.getOrBuild(ctx, "graph:"+spec.Key(), func(bctx context.Context) (any, int64, error) {
+		g, err := bspec.Build()
 		if err != nil {
 			return nil, 0, err
 		}
@@ -387,9 +467,15 @@ func (s *Server) getGraph(ctx context.Context, spec *GraphSpec) (*graph.Graph, b
 		return g, graphBytes(g), nil
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
-	return v.(*graph.Graph), hit, nil
+	switch g := v.(type) {
+	case *graph.Graph:
+		return g, hit, rel, nil
+	case *residentGraph:
+		return g.g, hit, rel, nil
+	}
+	return nil, false, nil, fmt.Errorf("serve: unexpected cache value %T for %q", v, spec.Key())
 }
 
 // lotusKey is the preprocessed-structure cache key: graph spec plus
@@ -404,11 +490,21 @@ func lotusKey(spec *GraphSpec, hubCount int, frontFraction float64) string {
 // cached) on a miss. Builds run on a scheduler detached from the
 // request so a herd of deadline-bound callers still produces one
 // complete structure.
-func (s *Server) getLotus(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64) (*core.LotusGraph, bool, error) {
-	v, hit, err := s.cache.getOrBuild(ctx, lotusKey(spec, hubCount, frontFraction), func(bctx context.Context) (any, int64, error) {
+func (s *Server) getLotus(ctx context.Context, spec *GraphSpec, hubCount int, frontFraction float64) (*core.LotusGraph, bool, error) {
+	bspec := copySpec(spec)
+	v, hit, rel, err := s.cache.getOrBuild(ctx, lotusKey(spec, hubCount, frontFraction), func(bctx context.Context) (any, int64, error) {
 		if err := faults.Inject(FaultPreprocess); err != nil {
 			return nil, 0, err
 		}
+		// Re-acquire the graph under the build's own pin: the caller's
+		// pin dies with its request, and an arena-backed graph whose
+		// last pin drops mid-build would have its slabs recycled under
+		// the preprocessor. Resident graphs make this a plain LRU hit.
+		g, _, relG, err := s.getGraph(bctx, &bspec)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer relG()
 		pool := sched.NewPool(s.cfg.Workers).Bind(bctx)
 		lg, err := core.TryPreprocess(g, core.Options{
 			HubCount:      hubCount,
@@ -431,18 +527,26 @@ func (s *Server) getLotus(ctx context.Context, spec *GraphSpec, g *graph.Graph, 
 	if err != nil {
 		return nil, false, err
 	}
+	// LOTUS structures are not arena-backed; the pin is a no-op.
+	rel()
 	return v.(*core.LotusGraph), hit, nil
 }
 
-// estimateLotusBytes upper-bounds the monolithic LOTUS structure's
-// resident size without building it: H2H bits, up to 4 bytes per
-// oriented edge, and the per-vertex offset/relabeling arrays. Used
-// only for the sharded-routing decision, so an overestimate merely
-// shards a little earlier.
+// estimateLotusBytes upper-bounds what getLotus would charge the
+// decoded tier for the monolithic LOTUS structure, without building
+// it. It must stay an upper bound — sharded routing compares it to
+// MaxStructureBytes (the decoded tier's budget once the compressed
+// tier exists), and an under-estimate would admit a structure that
+// can never be resident, so it would under-shard. Accounting, matched
+// against the actual charge in TestEstimateLotusBytesUpperBound:
+// H2H holds at most h(h-1)/2 bits plus one 8-byte word of rounding;
+// HE (2 B) and NHE (4 B) entries total at most 4 bytes per oriented
+// edge; the two offset arrays and the relabeling ride at 20 bytes per
+// vertex plus fixed slack for the array headers.
 func estimateLotusBytes(g *graph.Graph, hubCount int) int64 {
 	n := g.NumVertices()
 	h := int64(core.Options{HubCount: hubCount}.EffectiveHubCount(n))
-	return h*(h-1)/16 + 4*g.NumEdges() + 20*int64(n)
+	return h*(h-1)/16 + 4*g.NumEdges() + 20*int64(n) + 32
 }
 
 // autoGrid picks the smallest grid dimension whose per-shard
@@ -477,9 +581,9 @@ func shardKey(spec *GraphSpec, hubCount int, frontFraction float64, p, b int) st
 // plan. hit reports that every piece was already resident. Assembly
 // cross-checks each shard against the plan; a mismatch (a corrupt or
 // stale entry) purges the keys and rebuilds once before giving up.
-func (s *Server) getShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64, p int) (*shard.Grid, bool, error) {
+func (s *Server) getShardGrid(ctx context.Context, spec *GraphSpec, hubCount int, frontFraction float64, p int) (*shard.Grid, bool, error) {
 	for attempt := 0; ; attempt++ {
-		gr, hit, err := s.tryShardGrid(ctx, spec, g, hubCount, frontFraction, p)
+		gr, hit, err := s.tryShardGrid(ctx, spec, hubCount, frontFraction, p)
 		if err == nil || attempt > 0 || ctx.Err() != nil {
 			return gr, hit, err
 		}
@@ -489,11 +593,18 @@ func (s *Server) getShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Gra
 	}
 }
 
-func (s *Server) tryShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Graph, hubCount int, frontFraction float64, p int) (*shard.Grid, bool, error) {
-	v, hit, err := s.cache.getOrBuild(ctx, shardPlanKey(spec, hubCount, frontFraction, p), func(bctx context.Context) (any, int64, error) {
+func (s *Server) tryShardGrid(ctx context.Context, spec *GraphSpec, hubCount int, frontFraction float64, p int) (*shard.Grid, bool, error) {
+	bspec := copySpec(spec)
+	v, hit, rel, err := s.cache.getOrBuild(ctx, shardPlanKey(spec, hubCount, frontFraction, p), func(bctx context.Context) (any, int64, error) {
 		if err := faults.Inject(FaultPreprocess); err != nil {
 			return nil, 0, err
 		}
+		// Own graph pin for the detached build; see getLotus.
+		g, _, relG, err := s.getGraph(bctx, &bspec)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer relG()
 		pool := sched.NewPool(s.cfg.Workers).Bind(bctx)
 		pl, err := shard.NewPlan(g, shard.Options{
 			Grid:          p,
@@ -513,14 +624,20 @@ func (s *Server) tryShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Gra
 	if err != nil {
 		return nil, false, err
 	}
+	rel()
 	pl := v.(*shard.Plan)
 	shards := make([]*core.LotusShard, p)
 	allHit := hit
 	for b := 0; b < p; b++ {
-		v, hitB, err := s.cache.getOrBuild(ctx, shardKey(spec, hubCount, frontFraction, p, b), func(bctx context.Context) (any, int64, error) {
+		v, hitB, relB, err := s.cache.getOrBuild(ctx, shardKey(spec, hubCount, frontFraction, p, b), func(bctx context.Context) (any, int64, error) {
 			if err := faults.Inject(FaultPreprocess); err != nil {
 				return nil, 0, err
 			}
+			g, _, relG, err := s.getGraph(bctx, &bspec)
+			if err != nil {
+				return nil, 0, err
+			}
+			defer relG()
 			pool := sched.NewPool(s.cfg.Workers).Bind(bctx)
 			sh, err := pl.BuildShard(g, b, pool)
 			pool.Release()
@@ -535,6 +652,7 @@ func (s *Server) tryShardGrid(ctx context.Context, spec *GraphSpec, g *graph.Gra
 		if err != nil {
 			return nil, false, err
 		}
+		relB()
 		shards[b] = v.(*core.LotusShard)
 		allHit = allHit && hitB
 	}
@@ -598,9 +716,75 @@ type CountResponse struct {
 	Cache CacheInfo `json:"cache"`
 }
 
+// cachedResult memoizes one exact count: the structured response,
+// plus the response bytes pre-rendered with the all-hit cache stamp
+// so a warm hit writes without re-encoding anything.
+type cachedResult struct {
+	resp     *CountResponse
+	warmJSON []byte
+}
+
+// countReqPool / keyBufPool recycle the per-request decode target and
+// result-key buffer; both are returned clean, so a pooled request
+// never leaks one caller's fields into the next decode.
+var countReqPool = sync.Pool{New: func() any { return new(CountRequest) }}
+
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 192); return &b }}
+
+// putCountReq resets and repools a request. The inline edge slice is
+// kept for reuse only while small: a 4-million-edge body must not
+// stay pinned in the pool.
+func putCountReq(req *CountRequest) {
+	edges := req.Graph.Edges
+	if cap(edges) > 4096 {
+		edges = nil
+	}
+	*req = CountRequest{}
+	req.Graph.Edges = edges[:0]
+	countReqPool.Put(req)
+}
+
+// appendCountKey builds the memoized-count key into dst without
+// allocating; the format is byte-identical to the fmt.Sprintf it
+// replaced so key semantics survive the refactor.
+func appendCountKey(dst []byte, spec *GraphSpec, algo string, hubCount int, frontFraction float64, shards int) []byte {
+	dst = append(dst, "count:"...)
+	dst = spec.appendKey(dst)
+	dst = append(dst, "|algo="...)
+	dst = append(dst, algo...)
+	dst = append(dst, "|hubs="...)
+	dst = strconv.AppendInt(dst, int64(hubCount), 10)
+	dst = append(dst, "|ff="...)
+	dst = strconv.AppendFloat(dst, frontFraction, 'g', -1, 64)
+	dst = append(dst, "|shards="...)
+	dst = strconv.AppendInt(dst, int64(shards), 10)
+	return dst
+}
+
+// warmCountHit serves a memoized count straight from its pre-rendered
+// bytes: a no-alloc map lookup under the result lock, one header
+// assignment, one Write. This is the steady-state path a resident
+// service spends its life on; TestWarmCountHitZeroAlloc gates it at
+// zero allocations per request.
+func (s *Server) warmCountHit(w http.ResponseWriter, key []byte) bool {
+	s.resMu.Lock()
+	v, ok := s.results.getBytes(key)
+	s.resMu.Unlock()
+	if !ok {
+		return false
+	}
+	s.met.Add("result.hits", 1)
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(v.(*cachedResult).warmJSON)
+	return true
+}
+
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	var req CountRequest
-	if err := decodeJSON(r, &req); err != nil {
+	req := countReqPool.Get().(*CountRequest)
+	defer putCountReq(req)
+	if err := decodeJSON(r, req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
@@ -624,29 +808,24 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	resultKey := fmt.Sprintf("count:%s|algo=%s|hubs=%d|ff=%g|shards=%d",
-		req.Graph.Key(), algo, req.HubCount, req.FrontFraction, req.Shards)
+	kb := keyBufPool.Get().(*[]byte)
+	resultKey := appendCountKey((*kb)[:0], &req.Graph, algo, req.HubCount, req.FrontFraction, req.Shards)
+	defer func() { *kb = resultKey[:0]; keyBufPool.Put(kb) }()
 	useResultCache := !req.NoCache && !req.Metrics
 	if useResultCache {
-		s.resMu.Lock()
-		v, ok := s.results.get(resultKey)
-		s.resMu.Unlock()
-		if ok {
-			s.met.Add("result.hits", 1)
-			resp := *(v.(*CountResponse))
-			resp.Cache = CacheInfo{Graph: true, Lotus: true, Result: true, Warning: resp.Cache.Warning}
-			writeJSON(w, http.StatusOK, &resp)
+		if s.warmCountHit(w, resultKey) {
 			return
 		}
 		s.met.Add("result.misses", 1)
 	}
 
 	start := time.Now()
-	g, graphHit, err := s.getGraph(ctx, &req.Graph)
+	g, graphHit, relG, err := s.getGraph(ctx, &req.Graph)
 	if err != nil {
-		s.countError(w, &req, algo, start, err)
+		s.countError(w, req, algo, start, err)
 		return
 	}
+	defer relG()
 	var prepared *core.LotusGraph
 	var preparedGrid *shard.Grid
 	var lotusHit bool
@@ -686,18 +865,26 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !g.Oriented {
 		switch algo {
 		case "lotus":
-			prepared, lotusHit, err = s.getLotus(ctx, &req.Graph, g, req.HubCount, req.FrontFraction)
+			prepared, lotusHit, err = s.getLotus(ctx, &req.Graph, req.HubCount, req.FrontFraction)
 		case "lotus-sharded":
 			if shards == 0 {
 				shards = shard.DefaultGrid
 			}
-			preparedGrid, lotusHit, err = s.getShardGrid(ctx, &req.Graph, g, req.HubCount, req.FrontFraction, shards)
+			preparedGrid, lotusHit, err = s.getShardGrid(ctx, &req.Graph, req.HubCount, req.FrontFraction, shards)
 			s.met.Add("serve.sharded_counts", 1)
 		}
 		if err != nil {
-			s.countError(w, &req, algo, start, err)
+			s.countError(w, req, algo, start, err)
 			return
 		}
+	}
+	// Reusable per-worker kernel scratch: the warm-structure lotus
+	// path runs with bitmaps from a previous count instead of
+	// allocating fresh ones per request.
+	var scratch *core.CountScratch
+	if algo == "lotus" {
+		scratch = s.scratch.Get().(*core.CountScratch)
+		defer s.scratch.Put(scratch)
 	}
 	runOnce := func() (*engine.Report, error) {
 		return engine.Run(ctx, g, engine.Spec{
@@ -710,6 +897,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 				Shards:        shards,
 				Prepared:      prepared,
 				PreparedGrid:  preparedGrid,
+				Scratch:       scratch,
 			},
 		})
 	}
@@ -729,7 +917,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		rep, err = runOnce()
 	}
 	if err != nil {
-		s.countError(w, &req, algo, start, err)
+		s.countError(w, req, algo, start, err)
 		return
 	}
 
@@ -748,8 +936,13 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := &CountResponse{RunReport: *rr, Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit, Warning: cacheWarning}}
 	if useResultCache {
+		// Pre-render the warm variant once, at insert time, so every
+		// later hit is a raw byte write.
+		warm := *resp
+		warm.Cache = CacheInfo{Graph: true, Lotus: true, Result: true, Warning: cacheWarning}
+		cr := &cachedResult{resp: resp, warmJSON: renderJSON(&warm)}
 		s.resMu.Lock()
-		s.results.add(resultKey, resp, 1)
+		s.results.add(string(resultKey), cr, 1)
 		s.met.Set("result.entries", int64(s.results.len()))
 		s.resMu.Unlock()
 	}
@@ -838,13 +1031,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	g, graphHit, err := s.getGraph(ctx, &req.Graph)
+	_, graphHit, relG, err := s.getGraph(ctx, &req.Graph)
 	if err != nil {
 		status, code := errStatus(err)
 		writeErr(w, status, code, err.Error())
 		return
 	}
-	lg, lotusHit, err := s.getLotus(ctx, &req.Graph, g, req.HubCount, req.FrontFraction)
+	defer relG()
+	lg, lotusHit, err := s.getLotus(ctx, &req.Graph, req.HubCount, req.FrontFraction)
 	if err != nil {
 		status, code := errStatus(err)
 		writeErr(w, status, code, err.Error())
@@ -951,12 +1145,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	g, graphHit, err := s.getGraph(ctx, &req.Graph)
+	g, graphHit, relG, err := s.getGraph(ctx, &req.Graph)
 	if err != nil {
 		status, code := errStatus(err)
 		writeErr(w, status, code, err.Error())
 		return
 	}
+	defer relG()
 	est, err := s.estimate(ctx, g, &req)
 	if err != nil {
 		status, code := errStatus(err)

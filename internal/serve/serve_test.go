@@ -553,11 +553,11 @@ func TestCacheHitIsTenTimesFaster(t *testing.T) {
 // ctx.Err() while the detached build completes and lands in the cache
 // for later callers — a request deadline never poisons the cache.
 func TestBuildCacheWaiterTimeout(t *testing.T) {
-	c := newBuildCache("t", 1<<20, nil)
+	c := newBuildCache("t", cacheConfig{maxBytes: 1 << 20}, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // expired before the wait starts
 	gate := make(chan struct{})
-	_, _, err := c.getOrBuild(ctx, "k", func(context.Context) (any, int64, error) {
+	_, _, _, err := c.getOrBuild(ctx, "k", func(context.Context) (any, int64, error) {
 		<-gate
 		return "value", 5, nil
 	})
@@ -573,7 +573,7 @@ func TestBuildCacheWaiterTimeout(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	v, hit, err := c.getOrBuild(context.Background(), "k", func(context.Context) (any, int64, error) {
+	v, hit, _, err := c.getOrBuild(context.Background(), "k", func(context.Context) (any, int64, error) {
 		t.Fatal("rebuilt a cached value")
 		return nil, 0, nil
 	})

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
 	"lotustc/internal/gen"
 	"lotustc/internal/graph"
@@ -136,21 +137,61 @@ func (s *GraphSpec) Validate(allowFiles bool) error {
 // are keyed by content hash so identical lists share a cache entry
 // without the key itself holding the list.
 func (s *GraphSpec) Key() string {
+	return string(s.appendKey(nil))
+}
+
+// appendKey appends the canonical cache key to dst, byte-identical to
+// Key. The warm /v1/count path rebuilds its result key per request
+// into a pooled buffer, so this is strconv.Append* instead of
+// fmt.Sprintf: strconv's shortest-float 'g' rendering matches fmt's
+// %g exactly for float64.
+func (s *GraphSpec) appendKey(dst []byte) []byte {
 	switch s.Type {
 	case "rmat":
-		return fmt.Sprintf("rmat:s=%d,ef=%d,seed=%d", s.Scale, s.EdgeFactor, s.Seed)
+		dst = append(dst, "rmat:s="...)
+		dst = strconv.AppendUint(dst, uint64(s.Scale), 10)
+		dst = append(dst, ",ef="...)
+		dst = strconv.AppendInt(dst, int64(s.EdgeFactor), 10)
+		dst = append(dst, ",seed="...)
+		return strconv.AppendInt(dst, s.Seed, 10)
 	case "chunglu":
-		return fmt.Sprintf("chunglu:n=%d,m=%d,g=%g,seed=%d", s.N, s.M, s.Gamma, s.Seed)
+		dst = append(dst, "chunglu:n="...)
+		dst = strconv.AppendInt(dst, int64(s.N), 10)
+		dst = append(dst, ",m="...)
+		dst = strconv.AppendInt(dst, int64(s.M), 10)
+		dst = append(dst, ",g="...)
+		dst = strconv.AppendFloat(dst, s.Gamma, 'g', -1, 64)
+		dst = append(dst, ",seed="...)
+		return strconv.AppendInt(dst, s.Seed, 10)
 	case "erdos-renyi":
-		return fmt.Sprintf("er:n=%d,m=%d,seed=%d", s.N, s.M, s.Seed)
+		dst = append(dst, "er:n="...)
+		dst = strconv.AppendInt(dst, int64(s.N), 10)
+		dst = append(dst, ",m="...)
+		dst = strconv.AppendInt(dst, int64(s.M), 10)
+		dst = append(dst, ",seed="...)
+		return strconv.AppendInt(dst, s.Seed, 10)
 	case "barabasi-albert":
-		return fmt.Sprintf("ba:n=%d,m=%d,seed=%d", s.N, s.M, s.Seed)
+		dst = append(dst, "ba:n="...)
+		dst = strconv.AppendInt(dst, int64(s.N), 10)
+		dst = append(dst, ",m="...)
+		dst = strconv.AppendInt(dst, int64(s.M), 10)
+		dst = append(dst, ",seed="...)
+		return strconv.AppendInt(dst, s.Seed, 10)
 	case "complete":
-		return fmt.Sprintf("complete:n=%d", s.N)
+		dst = append(dst, "complete:n="...)
+		return strconv.AppendInt(dst, int64(s.N), 10)
 	case "hub-spokes":
-		return fmt.Sprintf("hubspokes:h=%d,l=%d,a=%d,seed=%d", s.Hubs, s.Leaves, s.Attach, s.Seed)
+		dst = append(dst, "hubspokes:h="...)
+		dst = strconv.AppendInt(dst, int64(s.Hubs), 10)
+		dst = append(dst, ",l="...)
+		dst = strconv.AppendInt(dst, int64(s.Leaves), 10)
+		dst = append(dst, ",a="...)
+		dst = strconv.AppendInt(dst, int64(s.Attach), 10)
+		dst = append(dst, ",seed="...)
+		return strconv.AppendInt(dst, s.Seed, 10)
 	case "file":
-		return "file:" + s.Path
+		dst = append(dst, "file:"...)
+		return append(dst, s.Path...)
 	case "edges":
 		h := sha256.New()
 		var buf [8]byte
@@ -159,9 +200,18 @@ func (s *GraphSpec) Key() string {
 			binary.LittleEndian.PutUint32(buf[4:], e[1])
 			h.Write(buf[:])
 		}
-		return fmt.Sprintf("edges:v=%d,sha=%x", s.Vertices, h.Sum(nil)[:16])
+		var sum [sha256.Size]byte
+		dst = append(dst, "edges:v="...)
+		dst = strconv.AppendInt(dst, int64(s.Vertices), 10)
+		dst = append(dst, ",sha="...)
+		const hexdigits = "0123456789abcdef"
+		for _, b := range h.Sum(sum[:0])[:16] {
+			dst = append(dst, hexdigits[b>>4], hexdigits[b&0xf])
+		}
+		return dst
 	default:
-		return "invalid:" + s.Type
+		dst = append(dst, "invalid:"...)
+		return append(dst, s.Type...)
 	}
 }
 
