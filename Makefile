@@ -27,6 +27,11 @@ check:
 	$(GO) test -race ./internal/approx/
 	$(GO) test -race -run 'TestReadLotusGraph|TestLotusGraphRoundTrip|TestStreaming' ./internal/core/
 	$(GO) test -race -run 'TestShardEquivalence' ./internal/shard/
+	# Auto-tuner surface: the probe's parallel reductions, the policy,
+	# and the cover-edge kernel's parallel sweep all race-tested in
+	# full (they are small packages; the engine's auto kernel rides in
+	# the -short pass above).
+	$(GO) test -race ./internal/tune/ ./internal/stats/ ./internal/coveredge/
 	# Allocation gates run without -race (instrumentation changes the
 	# profile they assert on): zero allocs/op on the warm /v1/count hit,
 	# pooled-arena rehydration, slab reuse in DecodeInto. The race pass
@@ -41,17 +46,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable comparator sweep with full metrics; BENCH_PR9.json
+# Machine-readable comparator sweep with full metrics; BENCH_PR10.json
 # is the artifact future PRs diff for perf trajectories (BENCH_PR2,
-# BENCH_PR5, BENCH_PR6 and BENCH_PR7 are the earlier snapshots).
-# Scale 15 so the phase-1 kernel ablation rows (lotus/phase1=*,
-# lotus/intersect=*), the sharded p=1/2/4 sweep (lotus-sharded/p=*),
-# the streaming-ingest throughput rows (stream-ingest/exact vs approx)
-# and the new serve-cache residency rows (serve-cache/raw vs
-# compressed: resident graphs per byte budget, warm-hit p50) measure
-# real work.
+# BENCH_PR5, BENCH_PR6, BENCH_PR7 and BENCH_PR9 are the earlier
+# snapshots). Scale 15 so the phase-1 kernel ablation rows
+# (lotus/phase1=*, lotus/intersect=*), the sharded p=1/2/4 sweep
+# (lotus-sharded/p=*), the streaming-ingest throughput rows
+# (stream-ingest/exact vs approx), the serve-cache residency rows
+# (serve-cache/raw vs compressed) and the new auto-vs-fixed tuner
+# sweep (tune/auto vs tune/lotus, tune/cover-edge,
+# tune/degree-partition, best-of-3 per row) measure real work.
 bench-report:
-	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR9.json
+	$(GO) run ./cmd/lotus-bench -report json -scale 15 -o BENCH_PR10.json
 
 # Randomized cross-validation of every algorithm and extension.
 verify:

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"lotustc/internal/engine"
 	"lotustc/internal/faults"
 	"lotustc/internal/obs"
 	"lotustc/internal/serve"
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultSpec  = fs.String("faults", "", "arm fault points at boot, e.g. \"wal.fsync:error:p=0.5;serve.build:latency:d=50ms\"")
 		debugFault = fs.Bool("debug-faults", false, "mount /debug/faults for runtime fault injection (never in production)")
 		allowFiles = fs.Bool("allow-files", false, "permit {\"type\":\"file\"} graph specs (filesystem access)")
+		defAlgo    = fs.String("default-algorithm", "auto", "algorithm for count requests that name none; \"auto\" probes each graph and routes to the fastest")
 		pprofAddr  = fs.String("pprof", "", "also start the expvar/pprof debug server on this address")
 		drainWait  = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 		smoke      = fs.Bool("smoke", false, "self-test: boot on a loopback port, query an R-MAT graph, verify, exit")
@@ -81,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "always", "none":
 	default:
 		fmt.Fprintf(stderr, "lotus-serve: -wal-sync %q: must be always or none\n", *walSync)
+		return 2
+	}
+	if _, err := engine.Lookup(*defAlgo); err != nil {
+		fmt.Fprintf(stderr, "lotus-serve: -default-algorithm: %v\n", err)
 		return 2
 	}
 	if *faultSpec != "" {
@@ -111,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		WALSync:           *walSync,
 		SnapshotBytes:     *snapBytes,
 		DebugFaults:       *debugFault,
+		DefaultAlgorithm:  *defAlgo,
 	}
 
 	if *smoke {

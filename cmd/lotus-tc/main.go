@@ -35,8 +35,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rmat      = fs.Uint("rmat", 0, "generate an R-MAT graph of this scale instead of loading")
 		ef        = fs.Int("edgefactor", 16, "R-MAT edge factor")
 		seed      = fs.Int64("seed", 1, "R-MAT seed")
-		algo      = fs.String("algo", "lotus", "algorithm (see -algos)")
+		algo      = fs.String("algo", "lotus", "algorithm (see -algos); \"auto\" probes the graph and picks one")
 		algos     = fs.Bool("algos", false, "list algorithms")
+		tuneAlgo  = fs.String("tune-algo", "", "pin the algorithm -algo auto routes to (ablation)")
 		workers   = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		hubs      = fs.Int("hubs", 0, "LOTUS hub count (0 = adaptive, paper default 65536)")
 		shards    = fs.Int("shards", 0, "shard grid dimension p for lotus-sharded; setting it with the default -algo selects lotus-sharded")
@@ -86,6 +87,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if _, err := engine.Lookup(*algo); err != nil {
 		fmt.Fprintf(stderr, "lotus-tc: %v\n", err)
 		return 1
+	}
+	if *tuneAlgo != "" {
+		if *algo != "auto" {
+			fmt.Fprintf(stderr, "lotus-tc: -tune-algo applies to -algo auto, not %q\n", *algo)
+			return 2
+		}
+		if _, err := engine.Lookup(*tuneAlgo); err != nil {
+			fmt.Fprintf(stderr, "lotus-tc: -tune-algo: %v\n", err)
+			return 1
+		}
 	}
 
 	var g *lotustc.Graph
@@ -137,6 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:        *workers,
 		HubCount:       *hubs,
 		Shards:         *shards,
+		TuneAlgorithm:  lotustc.Algorithm(*tuneAlgo),
 		Timeout:        *timeout,
 		CollectMetrics: *report == "json",
 	})
@@ -162,10 +174,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 	fmt.Fprintf(stdout, "algorithm: %s\n", res.Algorithm)
+	// The effective algorithm is what actually counted: the tuner's
+	// routed choice under -algo auto, res.Algorithm otherwise.
+	effective := res.Algorithm
+	if res.Decision != nil {
+		effective = lotustc.Algorithm(res.Decision.Algorithm)
+		fmt.Fprintf(stdout, "auto-tuned: %s — %s\n", res.Decision.Algorithm, res.Decision.Reason)
+	}
 	fmt.Fprintf(stdout, "triangles: %d\n", res.Triangles)
 	fmt.Fprintf(stdout, "end-to-end: %v (%.0f edges/s)\n", res.Elapsed, res.TCRate(g.NumEdges()))
-	if *verbose && (res.Algorithm == lotustc.AlgoLotus || res.Algorithm == lotustc.AlgoLotusSharded) {
-		if res.Algorithm == lotustc.AlgoLotusSharded {
+	if *verbose && (effective == lotustc.AlgoLotus || effective == lotustc.AlgoLotusSharded) {
+		if effective == lotustc.AlgoLotusSharded {
 			fmt.Fprintf(stdout, "breakdown: preprocess %v, count %v\n", res.Preprocess, res.CountPhase)
 		} else {
 			fmt.Fprintf(stdout, "breakdown: preprocess %v, HHH+HHN %v, HNN %v, NNN %v\n",
@@ -189,10 +208,17 @@ func fillRunReport(rr *obs.RunReport, res *lotustc.Result) {
 	rr.Triangles = res.Triangles
 	rr.ElapsedNS = res.Elapsed.Nanoseconds()
 	rr.Metrics = res.Metrics
+	rr.Decision = res.Decision
 	if w, ok := res.Metrics["run.workers"]; ok {
 		rr.Workers = int(w)
 	}
-	switch res.Algorithm {
+	// Phase rows follow the algorithm that actually counted — under
+	// AlgoAuto, the tuner's routed choice.
+	effective := res.Algorithm
+	if res.Decision != nil {
+		effective = lotustc.Algorithm(res.Decision.Algorithm)
+	}
+	switch effective {
 	case lotustc.AlgoLotus, lotustc.AlgoLotusRecursive:
 		rr.Phases = []obs.PhaseNS{
 			{Name: "preprocess", NS: res.Preprocess.Nanoseconds()},

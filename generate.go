@@ -45,6 +45,11 @@ func Ring(n int) *Graph { return gen.Ring(n) }
 // locality).
 func Grid(rows, cols int) *Graph { return gen.Grid(rows, cols) }
 
+// TriGrid returns the rows x cols lattice with one diagonal per cell:
+// 2(rows-1)(cols-1) triangles, flat degrees (<= 6), no hubs — the
+// road-network analog AlgoAuto routes to cover-edge counting.
+func TriGrid(rows, cols int) *Graph { return gen.TriGrid(rows, cols) }
+
 // HubAndSpokes builds nHubs mutually-connected hubs plus nLeaves
 // non-hubs attached to `attach` hubs each — the paper's motivating
 // structure in its purest form.

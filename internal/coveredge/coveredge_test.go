@@ -1,0 +1,124 @@
+package coveredge
+
+import (
+	"context"
+	"testing"
+
+	"lotustc/internal/baseline"
+	"lotustc/internal/gen"
+	"lotustc/internal/graph"
+	"lotustc/internal/obs"
+	"lotustc/internal/sched"
+)
+
+// corpus mirrors the shard equivalence corpus plus the shapes that
+// stress this kernel specifically: triangulated grids (its target
+// regime), plain grids and bipartite graphs (cover edges exist or
+// not, zero triangles either way), and disconnected graphs (one BFS
+// tree per component).
+func corpus() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat-9":      gen.RMAT(gen.DefaultRMAT(9, 8, 42)),
+		"rmat-10":     gen.RMAT(gen.DefaultRMAT(10, 16, 7)),
+		"chunglu":     gen.ChungLu(gen.ChungLuParams{N: 600, M: 3000, Gamma: 2.1, Seed: 3}),
+		"complete-50": gen.Complete(50),
+		"hub-spokes":  gen.HubAndSpokes(16, 500, 3, 5),
+		"planted":     gen.PlantedTriangles(40, 100),
+		"star":        gen.Star(100),
+		"path":        gen.Path(64),
+		"triangle":    gen.Complete(3),
+		"single-edge": graph.FromEdges([]graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{}),
+		"ring-5":      gen.Ring(5),
+		"bipartite":   gen.CompleteBipartite(10, 12),
+		"trigrid":     gen.TriGrid(20, 30),
+		"grid":        gen.Grid(15, 15),
+		"ba":          gen.BarabasiAlbert(400, 4, 9),
+		"er":          gen.ErdosRenyi(300, 1200, 11),
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	pool := sched.NewPool(0)
+	for name, g := range corpus() {
+		want := baseline.BruteForce(g)
+		res := Count(g, pool, nil)
+		if res.Total != want {
+			t.Errorf("%s: cover-edge counted %d, brute force %d", name, res.Total, want)
+		}
+	}
+}
+
+// TestTriGridExactCount pins the generator's closed form: two
+// triangles per unit square, and the kernel's cover-set stats must be
+// internally consistent (levels within [1, |V|], cover edges <= |E|).
+func TestTriGridExactCount(t *testing.T) {
+	g := gen.TriGrid(12, 17)
+	res := Count(g, sched.NewPool(0), nil)
+	if want := uint64(11 * 16 * 2); res.Total != want {
+		t.Fatalf("TriGrid(12,17) = %d triangles, want %d", res.Total, want)
+	}
+	if res.Levels < 1 || res.Levels > g.NumVertices() {
+		t.Fatalf("levels = %d out of range", res.Levels)
+	}
+	if res.CoverEdges == 0 || int64(res.CoverEdges) > g.NumEdges() {
+		t.Fatalf("cover edges = %d out of range (m = %d)", res.CoverEdges, g.NumEdges())
+	}
+}
+
+// TestDisconnectedComponents: per-component BFS roots must cover the
+// whole graph; two planted cliques plus isolated vertices exercise it.
+func TestDisconnectedComponents(t *testing.T) {
+	var edges []graph.Edge
+	// Two K5s (10 triangles each) far apart in the ID space, padding
+	// isolated vertices between and after.
+	for _, base := range []uint32{0, 40} {
+		for u := uint32(0); u < 5; u++ {
+			for v := u + 1; v < 5; v++ {
+				edges = append(edges, graph.Edge{U: base + u, V: base + v})
+			}
+		}
+	}
+	g := graph.FromEdges(edges, graph.BuildOptions{NumVertices: 60})
+	res := Count(g, sched.NewPool(0), nil)
+	if res.Total != 20 {
+		t.Fatalf("two K5 components = %d triangles, want 20", res.Total)
+	}
+}
+
+// TestEmptyGraph: zero vertices and zero edges must not panic.
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(nil, graph.BuildOptions{})
+	if res := Count(g, sched.NewPool(0), nil); res.Total != 0 {
+		t.Fatalf("empty graph counted %d", res.Total)
+	}
+}
+
+// TestMetricsPublished: the cover-edge counters must land in the
+// registry under their obs names.
+func TestMetricsPublished(t *testing.T) {
+	m := obs.New()
+	g := gen.TriGrid(10, 10)
+	res := Count(g, sched.NewPool(0), m)
+	snap := m.Snapshot()
+	if snap[obs.CoverLevels] != int64(res.Levels) {
+		t.Errorf("%s = %d, want %d", obs.CoverLevels, snap[obs.CoverLevels], res.Levels)
+	}
+	if snap[obs.CoverEdges] != int64(res.CoverEdges) {
+		t.Errorf("%s = %d, want %d", obs.CoverEdges, snap[obs.CoverEdges], res.CoverEdges)
+	}
+	if snap[obs.CoverBFSNS] < 0 || snap[obs.CoverCountNS] < 0 {
+		t.Errorf("negative stage timers: bfs=%d count=%d", snap[obs.CoverBFSNS], snap[obs.CoverCountNS])
+	}
+}
+
+// TestCancellation: a pre-cancelled pool must return quickly without
+// touching most of the graph (the caller's context check governs the
+// result, which is unspecified — only termination is asserted here).
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := sched.NewPool(2).Bind(ctx)
+	defer pool.Release()
+	g := gen.RMAT(gen.DefaultRMAT(12, 8, 1))
+	_ = Count(g, pool, nil)
+}

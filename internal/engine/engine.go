@@ -44,6 +44,8 @@ const (
 	// split their sweep into the three monolithic phases (the sharded
 	// kernel interleaves all classes per block triple).
 	PhaseCount = "count"
+	// PhaseProbe is the auto kernel's structural probe.
+	PhaseProbe = "probe"
 )
 
 // Spec selects an algorithm and its tuning for one Run.
@@ -110,6 +112,10 @@ type Params struct {
 	// phase. Mismatches (vertex count, or a grid dimension that
 	// contradicts a nonzero Shards) wrap ErrPreparedMismatch.
 	PreparedGrid *shard.Grid
+	// TuneAlgorithm pins the "auto" kernel's routed algorithm for
+	// ablation runs (the decision is recorded as overridden); empty
+	// lets the tune policy choose. Other kernels ignore it.
+	TuneAlgorithm string
 	// Scratch supplies reusable per-worker kernel scratch to the
 	// "lotus" kernel (see core.CountOptions.Scratch); a resident
 	// service pools these across requests so warm counts reuse their
@@ -142,6 +148,10 @@ type Report struct {
 	// Spec.CollectMetrics was set (nil otherwise). Names are dotted
 	// (e.g. "phase1.steals"); DESIGN.md documents the full set.
 	Metrics map[string]int64
+	// Decision is the auto-tuner's routing record (the "auto" kernel
+	// only): the chosen algorithm, the policy reason, and every probe
+	// stat the decision read.
+	Decision *obs.TuneDecision
 }
 
 // AddPhase appends a timed stage to the report.

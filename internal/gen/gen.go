@@ -332,6 +332,31 @@ func Grid(rows, cols int) *graph.Graph {
 	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: rows * cols})
 }
 
+// TriGrid returns the rows x cols triangulated lattice: the 2-D grid
+// plus one diagonal per unit square, so every square holds exactly two
+// triangles — (rows-1)*(cols-1)*2 in total. Degrees are flat (interior
+// vertices have degree 6) and the diameter is huge, the road-network
+// regime where hub-based counting has nothing to grab and the
+// cover-edge kernel shines.
+func TriGrid(rows, cols int) *graph.Graph {
+	var edges []graph.Edge
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+			if c+1 < cols && r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c+1)})
+			}
+		}
+	}
+	return graph.FromEdges(edges, graph.BuildOptions{NumVertices: rows * cols})
+}
+
 // CompleteBipartite returns K_{a,b}, a triangle-free graph with two
 // fully-connected hub-like sides; every neighbour-list intersection in
 // it is fruitless, stressing the §3.3 pruning analysis.

@@ -108,5 +108,29 @@ func (s Suite) Datasets() []Dataset {
 				return gen.ChungLu(gen.ChungLuParams{N: n, M: m, Gamma: 2.6, MaxDegreeCap: 0.002, Seed: 5})
 			},
 		},
+		{
+			// Sized so |E| ~ 3m: a trigrid has ~3 edges per vertex, so a
+			// side of sqrt(m) puts its edge count in the same league as
+			// the power-law datasets' m while the degrees stay flat (<= 6)
+			// — the regime where the auto tuner must route away from
+			// LOTUS.
+			Name: "trigrid", Kind: "FLAT", Analog: "road networks (triangulated grid)",
+			Build: func() *graph.Graph {
+				side := intSqrt(m)
+				return gen.TriGrid(side, side)
+			},
+		},
 	}
+}
+
+// intSqrt returns floor(sqrt(x)) for non-negative x.
+func intSqrt(x int) int {
+	if x < 2 {
+		return x
+	}
+	r := x
+	for next := (r + x/r) / 2; next < r; next = (r + x/r) / 2 {
+		r = next
+	}
+	return r
 }

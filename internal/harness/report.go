@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -42,6 +43,17 @@ var benchShardVariants = []struct {
 	{"lotus-sharded/p=2", engine.Params{Shards: 2}},
 	{"lotus-sharded/p=4", engine.Params{Shards: 4}},
 }
+
+// benchTunerAlgorithms is the auto-vs-fixed sweep appended per
+// dataset: every fixed algorithm the structural tuner can route to,
+// plus "auto" itself. Rows are labeled "tune/<algo>" and timed
+// best-of-tunerBestOf so the auto-vs-fixed margins in the BENCH
+// artifact reflect the routing choice, not timer noise; the auto row
+// carries the tuner's Decision block (routed algorithm, policy
+// reason, probe stats).
+var benchTunerAlgorithms = []string{"lotus", "cover-edge", "degree-partition", "auto"}
+
+const tunerBestOf = 3
 
 // BuildBenchReport runs the Table 5 comparators over the suite's
 // datasets with metrics collection on and folds every run into one
@@ -111,6 +123,12 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 			}
 			oneRun("lotus-sharded", v.label, v.params)
 		}
+		for _, algo := range benchTunerAlgorithms {
+			if s.Context().Err() != nil {
+				break
+			}
+			tunerRun(br, s, d, g, workers, algo)
+		}
 	}
 	// Streaming-ingest throughput rows (edges/sec, exact vs approx) on
 	// the first dataset only: the point is tracking the serving stream
@@ -124,6 +142,57 @@ func BuildBenchReport(s Suite, workers int) *obs.BenchReport {
 		serveCacheRuns(br, workers)
 	}
 	return br
+}
+
+// tunerRun appends one auto-vs-fixed sweep row: algo run
+// tunerBestOf times on g, keeping the fastest. A capability mismatch
+// (the kernel declares it cannot run this graph) becomes an explicit
+// Skipped row, so the artifact distinguishes "legitimately did not
+// run" from a failure; any other error is a real Error row.
+func tunerRun(br *obs.BenchReport, s Suite, d Dataset, g *graph.Graph, workers int, algo string) {
+	rr := obs.RunReport{
+		Schema:    obs.SchemaRun,
+		Tool:      br.Tool,
+		Timestamp: br.Timestamp,
+		Env:       br.Env,
+		Graph:     obs.GraphInfo{Source: d.Name, Vertices: int64(g.NumVertices()), Edges: g.NumEdges()},
+		Algorithm: "tune/" + algo,
+	}
+	var best *engine.Report
+	for i := 0; i < tunerBestOf; i++ {
+		if s.Context().Err() != nil {
+			break
+		}
+		rep, err := engine.Run(s.Context(), g, engine.Spec{
+			Algorithm:      algo,
+			Workers:        workers,
+			CollectMetrics: true,
+		})
+		if err != nil {
+			if errors.Is(err, engine.ErrNeedsSymmetric) {
+				rr.Skipped = err.Error()
+			} else {
+				rr.Error = err.Error()
+			}
+			br.Runs = append(br.Runs, rr)
+			return
+		}
+		if best == nil || rep.Elapsed < best.Elapsed {
+			best = rep
+		}
+	}
+	if best == nil {
+		return // context expired before any attempt; the sweep is ending
+	}
+	rr.Workers = int(best.Metrics["run.workers"])
+	rr.Triangles = best.Triangles
+	rr.ElapsedNS = best.Elapsed.Nanoseconds()
+	for _, p := range best.Phases {
+		rr.Phases = append(rr.Phases, obs.PhaseNS{Name: p.Name, NS: p.Duration.Nanoseconds()})
+	}
+	rr.Metrics = best.Metrics
+	rr.Decision = best.Decision
+	br.Runs = append(br.Runs, rr)
 }
 
 // streamIngestRuns appends two streaming-ingest rows for one dataset:
@@ -162,6 +231,19 @@ func streamIngestRuns(br *obs.BenchReport, d Dataset, g *graph.Graph) {
 		hhh, hhn, hnn, nnn := sc.Classes()
 		row("stream-ingest/exact", hhh+hhn+hnn+nnn, elapsed,
 			map[string]int64{"stream.memory_bytes": sc.MemoryBytes()})
+	} else {
+		// The counter refused this dataset's shape: record the skip
+		// explicitly instead of silently dropping the row, so a BENCH
+		// diff shows "skipped" rather than a vanished series.
+		br.Runs = append(br.Runs, obs.RunReport{
+			Schema:    obs.SchemaRun,
+			Tool:      br.Tool,
+			Timestamp: br.Timestamp,
+			Env:       br.Env,
+			Graph:     obs.GraphInfo{Source: d.Name, Vertices: int64(g.NumVertices()), Edges: g.NumEdges()},
+			Algorithm: "stream-ingest/exact",
+			Skipped:   err.Error(),
+		})
 	}
 
 	const budget = 1 << 20

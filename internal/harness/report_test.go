@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"lotustc/internal/gen"
 	"lotustc/internal/obs"
 )
 
@@ -47,6 +48,24 @@ func TestTable5OutputFinite(t *testing.T) {
 	}
 }
 
+// TestTunerRunSkippedRow: a capability mismatch (symmetric-only
+// kernel, oriented graph) must surface as an explicit Skipped row —
+// not an Error, not a silently missing series.
+func TestTunerRunSkippedRow(t *testing.T) {
+	s := tinySuite()
+	br := obs.NewBenchReport("test", "skip")
+	g := gen.RMAT(gen.DefaultRMAT(8, 8, 1)).Orient()
+	d := Dataset{Name: "oriented"}
+	tunerRun(br, s, d, g, 1, "lotus")
+	if len(br.Runs) != 1 {
+		t.Fatalf("got %d rows, want 1", len(br.Runs))
+	}
+	r := br.Runs[0]
+	if r.Skipped == "" || r.Error != "" || r.Triangles != 0 || r.ElapsedNS != 0 {
+		t.Fatalf("skip row: %+v", r)
+	}
+}
+
 func TestBuildBenchReport(t *testing.T) {
 	s := tinySuite()
 	br := BuildBenchReport(s, 2)
@@ -56,7 +75,8 @@ func TestBuildBenchReport(t *testing.T) {
 	// +2: the streaming-ingest throughput rows (exact and approx) on
 	// the first dataset. +2 again: the serve-cache residency rows (raw
 	// and compressed).
-	wantRuns := len(s.Datasets())*(len(BenchAlgorithms)+len(benchKernelVariants)+len(benchShardVariants)) + 4
+	wantRuns := len(s.Datasets())*(len(BenchAlgorithms)+len(benchKernelVariants)+
+		len(benchShardVariants)+len(benchTunerAlgorithms)) + 4
 	if len(br.Runs) != wantRuns {
 		t.Fatalf("got %d runs, want %d", len(br.Runs), wantRuns)
 	}
@@ -73,6 +93,28 @@ func TestBuildBenchReport(t *testing.T) {
 	}
 	if want := len(s.Datasets()) * len(benchKernelVariants); variants != want {
 		t.Fatalf("got %d kernel-variant runs, want %d", variants, want)
+	}
+	// The auto-vs-fixed tuner sweep: one row per tuner algorithm per
+	// dataset, and every "tune/auto" row must carry its Decision.
+	tunerRows := 0
+	for _, r := range br.Runs {
+		if !strings.HasPrefix(r.Algorithm, "tune/") {
+			continue
+		}
+		tunerRows++
+		if r.Skipped != "" {
+			t.Fatalf("%s/%s unexpectedly skipped: %s", r.Graph.Source, r.Algorithm, r.Skipped)
+		}
+		if r.Algorithm == "tune/auto" {
+			if r.Decision == nil || r.Decision.Algorithm == "" || r.Decision.Reason == "" {
+				t.Fatalf("%s: tune/auto row missing decision: %+v", r.Graph.Source, r.Decision)
+			}
+		} else if r.Decision != nil {
+			t.Fatalf("%s/%s: fixed row carries a decision", r.Graph.Source, r.Algorithm)
+		}
+	}
+	if want := len(s.Datasets()) * len(benchTunerAlgorithms); tunerRows != want {
+		t.Fatalf("got %d tuner rows, want %d", tunerRows, want)
 	}
 	// Same for the sharded p-sweep rows.
 	shardRuns := 0

@@ -51,6 +51,46 @@ const (
 	StreamRecoverSkipped = "stream.recover_skipped"
 )
 
+// Counter names of the kernel-family expansion and the structural
+// auto-tuner (PR 10). The tune.* gauges mirror the Decision block of
+// the run report so /metrics shows the last routing decision's inputs
+// without parsing a report.
+const (
+	// TuneProbes counts auto-tuned runs (one structural probe each).
+	TuneProbes = "tune.probes"
+	// TuneProbeNS is the accumulated wall time of structural probes.
+	TuneProbeNS = "tune.probe.ns"
+	// TuneOverridden counts auto runs whose algorithm choice was forced
+	// by an ablation override rather than the scoring policy.
+	TuneOverridden = "tune.overridden"
+	// TuneDecisionPrefix prefixes the per-algorithm decision counters:
+	// "tune.decision.lotus" counts probes routed to the lotus kernel.
+	TuneDecisionPrefix = "tune.decision."
+	// TuneCacheHits counts serving-layer decisions answered from the
+	// memoized "tune:" cache entry instead of a fresh probe.
+	TuneCacheHits = "tune.cache_hits"
+	// TuneStat* are gauges holding the last probe's policy inputs,
+	// scaled to permille so the integer registry can carry them
+	// (gini 0.42 -> 420; percentages are also x10).
+	TuneStatGiniPermille        = "tune.stat.gini_permille"
+	TuneStatHubCoveragePermille = "tune.stat.hub_coverage_permille"
+	TuneStatH2HDensityPermille  = "tune.stat.h2h_density_permille"
+	TuneStatAssortPermille      = "tune.stat.assortativity_permille"
+)
+
+// Counter names of the cover-edge kernel (PR 10).
+const (
+	// CoverBFSNS is the wall time of the BFS level assignment.
+	CoverBFSNS = "coveredge.bfs.ns"
+	// CoverLevels is the number of BFS levels (max over components).
+	CoverLevels = "coveredge.levels"
+	// CoverEdges counts horizontal (cover) edges: the only edges whose
+	// neighbour lists the counting sweep intersects.
+	CoverEdges = "coveredge.cover_edges"
+	// CoverCountNS is the wall time of the weighted counting sweep.
+	CoverCountNS = "coveredge.count.ns"
+)
+
 // Counter names of the sharded execution path (PR 6).
 const (
 	// ShardBlocks is the grid dimension p of a sharded build.

@@ -60,6 +60,30 @@ type Classes struct {
 	NNN uint64 `json:"nnn"`
 }
 
+// TuneDecision records one structural auto-tuner routing choice and
+// every stat that fed it, so bench sweeps can validate the policy and
+// mis-routing is diagnosable from the report alone. Stats keys are the
+// probe field names ("degree_gini", "hub_edge_coverage_pct", ...);
+// encoding/json sorts map keys, so the block is byte-stable.
+type TuneDecision struct {
+	// Algorithm is the registry kernel the tuner routed the run to.
+	Algorithm string `json:"algorithm"`
+	// Phase1Kernel / IntersectKernel are the kernel knobs the policy
+	// selected for the chosen algorithm ("" = engine default).
+	Phase1Kernel    string `json:"phase1_kernel,omitempty"`
+	IntersectKernel string `json:"intersect_kernel,omitempty"`
+	// Reason is the one-line policy explanation ("hub coverage 72.4%
+	// >= 40: LOTUS hub structures capture the work").
+	Reason string `json:"reason"`
+	// Overridden marks decisions forced by an ablation override; the
+	// Reason then names the override.
+	Overridden bool `json:"overridden,omitempty"`
+	// ProbeNS is the wall time of the structural probe.
+	ProbeNS int64 `json:"probe_ns"`
+	// Stats holds the probe values the scoring policy read.
+	Stats map[string]float64 `json:"stats,omitempty"`
+}
+
 // RunReport is the machine-readable outcome of one counting (or
 // replay) run; schema documented in DESIGN.md ("Observability").
 type RunReport struct {
@@ -83,6 +107,14 @@ type RunReport struct {
 	// Events carries modeled hardware events (lotus-perf): kernel
 	// name -> event name -> count.
 	Events map[string]map[string]uint64 `json:"events,omitempty"`
+	// Decision is the structural auto-tuner's routing record, present
+	// on "auto" runs only (additive; schema stays v1).
+	Decision *TuneDecision `json:"decision,omitempty"`
+	// Skipped explains a sweep row whose algorithm legitimately did
+	// not run on this graph (e.g. a shard grid wider than |V|). Rows
+	// with Skipped set carry no result fields and no Error: the skip
+	// is expected, but must stay auditable in the artifact.
+	Skipped string `json:"skipped,omitempty"`
 	// Error is set when the run failed; the other result fields are
 	// then unspecified.
 	Error string `json:"error,omitempty"`

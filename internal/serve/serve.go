@@ -37,6 +37,7 @@ import (
 	"lotustc/internal/obs"
 	"lotustc/internal/sched"
 	"lotustc/internal/shard"
+	"lotustc/internal/tune"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -111,6 +112,11 @@ type Config struct {
 	// DebugFaults mounts the /debug/faults endpoint for runtime fault
 	// injection. Never enable it on a production listener.
 	DebugFaults bool
+	// DefaultAlgorithm applies when a count request names none
+	// (default "auto": the structural tuner probes the graph once and
+	// routes to the algorithm its shape favors). Set "lotus" to
+	// restore the fixed pre-tuner behavior.
+	DefaultAlgorithm string
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +170,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotBytes <= 0 {
 		c.SnapshotBytes = 1 << 20
+	}
+	if c.DefaultAlgorithm == "" {
+		c.DefaultAlgorithm = "auto"
 	}
 	return c
 }
@@ -240,6 +249,20 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stream/{id}", s.handleStreamGet)
 	s.mux.HandleFunc("DELETE /v1/stream/{id}", s.handleStreamDelete)
 	s.mux.HandleFunc("POST /v1/stream/{id}/edges", s.handleStreamIngest)
+	// Pre-register the tuner and cover-edge counters plus one decision
+	// counter per registered algorithm, so /metrics shows the full
+	// schema at zero before the first auto-routed count arrives.
+	for _, name := range engine.Algorithms() {
+		met.Add(obs.TuneDecisionPrefix+name, 0)
+	}
+	for _, name := range []string{
+		obs.TuneProbes, obs.TuneProbeNS, obs.TuneOverridden, obs.TuneCacheHits,
+		obs.TuneStatGiniPermille, obs.TuneStatHubCoveragePermille,
+		obs.TuneStatH2HDensityPermille, obs.TuneStatAssortPermille,
+		obs.CoverBFSNS, obs.CoverLevels, obs.CoverEdges, obs.CoverCountNS,
+	} {
+		met.Add(name, 0)
+	}
 	obs.Publish("lotus-serve", met)
 	return s
 }
@@ -532,6 +555,46 @@ func (s *Server) getLotus(ctx context.Context, spec *GraphSpec, hubCount int, fr
 	return v.(*core.LotusGraph), hit, nil
 }
 
+// tuneKey is the memoized routing-decision cache key: graph spec
+// plus the hub count — the only count option that changes the probe.
+func tuneKey(spec *GraphSpec, hubCount int) string {
+	return fmt.Sprintf("tune:%s|hubs=%d", spec.Key(), hubCount)
+}
+
+// tuneDecisionBytes is the flat LRU charge for one memoized decision:
+// the struct plus its 11-entry stats map, far below any structure.
+const tuneDecisionBytes = 512
+
+// getTuneDecision resolves the auto route for (spec, hubs) through
+// the cache: the structural probe runs once per resident graph spec,
+// and every later auto request on it reads the memoized decision.
+// Request-level kernel overrides do not exist on the serve API, so
+// the decision depends on nothing else.
+func (s *Server) getTuneDecision(ctx context.Context, spec *GraphSpec, hubCount int) (*tune.Decision, bool, error) {
+	bspec := copySpec(spec)
+	v, hit, rel, err := s.cache.getOrBuild(ctx, tuneKey(spec, hubCount), func(bctx context.Context) (any, int64, error) {
+		// Own graph pin for the detached build; see getLotus.
+		g, _, relG, err := s.getGraph(bctx, &bspec)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer relG()
+		pool := sched.NewPool(s.cfg.Workers).Bind(bctx)
+		dec := tune.Analyze(g, hubCount, pool, tune.Overrides{})
+		pool.Release()
+		// A cancelled probe carries unspecified stats; keep it out.
+		if err := bctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		return &dec, tuneDecisionBytes, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	rel()
+	return v.(*tune.Decision), hit, nil
+}
+
 // estimateLotusBytes upper-bounds what getLotus would charge the
 // decoded tier for the monolithic LOTUS structure, without building
 // it. It must stay an upper bound — sharded routing compares it to
@@ -704,10 +767,15 @@ type CountRequest struct {
 // serving-quality warning (e.g. the auto shard grid was clamped, so
 // per-shard structures may overrun the single-structure budget).
 type CacheInfo struct {
-	Graph   bool   `json:"graph_hit"`
-	Lotus   bool   `json:"lotus_hit"`
-	Result  bool   `json:"result_hit"`
-	Warning string `json:"warning,omitempty"`
+	Graph  bool `json:"graph_hit"`
+	Lotus  bool `json:"lotus_hit"`
+	Result bool `json:"result_hit"`
+	// Algorithm is the algorithm the request actually ran — it
+	// differs from the requested one when the auto tuner routed the
+	// count or oversized-structure routing moved it to the sharded
+	// path.
+	Algorithm string `json:"algorithm,omitempty"`
+	Warning   string `json:"warning,omitempty"`
 }
 
 // CountResponse is the run report plus cache provenance.
@@ -794,7 +862,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	algo := req.Algorithm
 	if algo == "" {
-		algo = engine.DefaultAlgorithm
+		algo = s.cfg.DefaultAlgorithm
 	}
 	if _, err := engine.Lookup(algo); err != nil {
 		writeErr(w, http.StatusBadRequest, "unknown_algorithm", err.Error())
@@ -826,6 +894,27 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer relG()
+	// Resolve the auto route before anything keys off the algorithm:
+	// the tuner picks the real one, and the oversized routing,
+	// prepared-structure attachment, scratch reuse and class reporting
+	// below all see the resolved name, so an auto request amortizes
+	// structures exactly like an explicit one.
+	var decision *obs.TuneDecision
+	var tunePhase1, tuneIntersect string
+	if algo == "auto" {
+		dec, tuneHit, derr := s.getTuneDecision(ctx, &req.Graph, req.HubCount)
+		if derr != nil {
+			s.countError(w, req, algo, start, derr)
+			return
+		}
+		algo = dec.Algorithm
+		tunePhase1, tuneIntersect = dec.Phase1Kernel, dec.IntersectKernel
+		decision = dec.Report()
+		dec.Publish(s.met)
+		if tuneHit {
+			s.met.Add(obs.TuneCacheHits, 1)
+		}
+	}
 	var prepared *core.LotusGraph
 	var preparedGrid *shard.Grid
 	var lotusHit bool
@@ -892,12 +981,14 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 			Workers:        firstPositive(req.Workers, s.cfg.Workers),
 			CollectMetrics: req.Metrics,
 			Params: engine.Params{
-				HubCount:      req.HubCount,
-				FrontFraction: req.FrontFraction,
-				Shards:        shards,
-				Prepared:      prepared,
-				PreparedGrid:  preparedGrid,
-				Scratch:       scratch,
+				HubCount:        req.HubCount,
+				FrontFraction:   req.FrontFraction,
+				Shards:          shards,
+				Phase1Kernel:    tunePhase1,
+				IntersectKernel: tuneIntersect,
+				Prepared:        prepared,
+				PreparedGrid:    preparedGrid,
+				Scratch:         scratch,
 			},
 		})
 	}
@@ -931,15 +1022,16 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	for _, p := range rep.Phases {
 		rr.Phases = append(rr.Phases, obs.PhaseNS{Name: p.Name, NS: p.Duration.Nanoseconds()})
 	}
-	if algo == "lotus" || algo == "lotus-recursive" || algo == "lotus-sharded" {
+	if algo == "lotus" || algo == "lotus-recursive" || algo == "lotus-sharded" || algo == "degree-partition" {
 		rr.Classes = &obs.Classes{HHH: rep.HHH, HHN: rep.HHN, HNN: rep.HNN, NNN: rep.NNN}
 	}
-	resp := &CountResponse{RunReport: *rr, Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit, Warning: cacheWarning}}
+	rr.Decision = decision
+	resp := &CountResponse{RunReport: *rr, Cache: CacheInfo{Graph: graphHit, Lotus: lotusHit, Algorithm: algo, Warning: cacheWarning}}
 	if useResultCache {
 		// Pre-render the warm variant once, at insert time, so every
 		// later hit is a raw byte write.
 		warm := *resp
-		warm.Cache = CacheInfo{Graph: true, Lotus: true, Result: true, Warning: cacheWarning}
+		warm.Cache = CacheInfo{Graph: true, Lotus: true, Result: true, Algorithm: algo, Warning: cacheWarning}
 		cr := &cachedResult{resp: resp, warmJSON: renderJSON(&warm)}
 		s.resMu.Lock()
 		s.results.add(string(resultKey), cr, 1)

@@ -29,9 +29,9 @@ const (
 // graph always share one cached instance.
 type GraphSpec struct {
 	// Type selects the source: "rmat", "chunglu", "erdos-renyi",
-	// "barabasi-albert", "complete", "hub-spokes", "file" (a binary
-	// graph saved by lotus-gen / SaveGraph; requires -allow-files) or
-	// "edges" (an inline edge list).
+	// "barabasi-albert", "trigrid", "complete", "hub-spokes", "file"
+	// (a binary graph saved by lotus-gen / SaveGraph; requires
+	// -allow-files) or "edges" (an inline edge list).
 	Type string `json:"type"`
 
 	// R-MAT parameters (Graph500 style).
@@ -48,6 +48,10 @@ type GraphSpec struct {
 	Hubs   int `json:"hubs,omitempty"`
 	Leaves int `json:"leaves,omitempty"`
 	Attach int `json:"attach,omitempty"`
+
+	// Triangulated grid (road-network analog) dimensions.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 
 	// File source.
 	Path string `json:"path,omitempty"`
@@ -93,6 +97,13 @@ func (s *GraphSpec) Validate(allowFiles bool) error {
 		}
 		if s.M < 1 || s.M > 1024 {
 			return fmt.Errorf("barabasi-albert m %d out of range [1, 1024]", s.M)
+		}
+	case "trigrid":
+		if s.Rows < 1 || s.Cols < 1 {
+			return fmt.Errorf("trigrid needs rows and cols >= 1")
+		}
+		if s.Rows > maxGenVertices || s.Cols > maxGenVertices || s.Rows*s.Cols > maxGenVertices {
+			return fmt.Errorf("trigrid %dx%d exceeds %d vertices", s.Rows, s.Cols, maxGenVertices)
 		}
 	case "complete":
 		if s.N < 1 || s.N > maxCompleteN {
@@ -177,6 +188,11 @@ func (s *GraphSpec) appendKey(dst []byte) []byte {
 		dst = strconv.AppendInt(dst, int64(s.M), 10)
 		dst = append(dst, ",seed="...)
 		return strconv.AppendInt(dst, s.Seed, 10)
+	case "trigrid":
+		dst = append(dst, "trigrid:r="...)
+		dst = strconv.AppendInt(dst, int64(s.Rows), 10)
+		dst = append(dst, ",c="...)
+		return strconv.AppendInt(dst, int64(s.Cols), 10)
 	case "complete":
 		dst = append(dst, "complete:n="...)
 		return strconv.AppendInt(dst, int64(s.N), 10)
@@ -228,6 +244,8 @@ func (s *GraphSpec) Build() (*graph.Graph, error) {
 		return gen.ErdosRenyi(s.N, s.M, s.Seed), nil
 	case "barabasi-albert":
 		return gen.BarabasiAlbert(s.N, s.M, s.Seed), nil
+	case "trigrid":
+		return gen.TriGrid(s.Rows, s.Cols), nil
 	case "complete":
 		return gen.Complete(s.N), nil
 	case "hub-spokes":

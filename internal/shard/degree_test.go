@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"lotustc/internal/gen"
+	"lotustc/internal/sched"
+)
+
+// TestShardEquivalenceDegreePartition: the degree-class partition must
+// reproduce the monolithic count bit for bit — total AND class split —
+// on every corpus graph and across hub counts, because it shares the
+// hub set (top degrees, ID-ascending ties) with the LOTUS relabeling
+// even though the full orderings differ.
+func TestShardEquivalenceDegreePartition(t *testing.T) {
+	pool := sched.NewPool(0)
+	for name, g := range corpus() {
+		n := g.NumVertices()
+		for _, hubs := range []int{0, 7, n / 2} {
+			want := monolithic(t, g, hubs)
+			gr, err := Build(g, Options{Strategy: PartitionDegree, HubCount: hubs})
+			if err != nil {
+				t.Fatalf("%s hubs=%d: Build: %v", name, hubs, err)
+			}
+			label := fmt.Sprintf("%s hubs=%d degree-partition", name, hubs)
+			assertSameCounts(t, label, want, gr.Count(pool, CountOptions{}))
+		}
+	}
+}
+
+// TestDegreeClassRanges: the partition must be one contiguous range
+// per populated log2 degree class, sorted, disjoint, covering [0, n),
+// with degree class constant inside each range.
+func TestDegreeClassRanges(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 42))
+	pl, err := NewPlan(g, Options{Strategy: PartitionDegree})
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	n := g.NumVertices()
+	if pl.P != len(pl.Ranges) {
+		t.Fatalf("P = %d but %d ranges", pl.P, len(pl.Ranges))
+	}
+	if pl.P > 33 {
+		t.Fatalf("%d degree classes, want <= 33", pl.P)
+	}
+	// Invert the relabeling to read degrees in relabeled order.
+	degNew := make([]int, n)
+	for old := 0; old < n; old++ {
+		degNew[pl.Relabeling[old]] = g.Degree(uint32(old))
+	}
+	next := uint32(0)
+	seen := make(map[int]bool)
+	for i, r := range pl.Ranges {
+		if r.Lo != next {
+			t.Fatalf("range %d starts at %d, want %d (disjoint cover)", i, r.Lo, next)
+		}
+		if r.Hi <= r.Lo {
+			t.Fatalf("range %d empty [%d, %d): degree classes are populated by construction", i, r.Lo, r.Hi)
+		}
+		cls := bits.Len(uint(degNew[r.Lo]))
+		if seen[cls] {
+			t.Fatalf("degree class %d split across ranges", cls)
+		}
+		seen[cls] = true
+		for v := r.Lo; v < r.Hi; v++ {
+			if c := bits.Len(uint(degNew[v])); c != cls {
+				t.Fatalf("vertex %d in range %d has class %d, range is class %d", v, i, c, cls)
+			}
+		}
+		next = r.Hi
+	}
+	if next != uint32(n) {
+		t.Fatalf("ranges cover [0, %d), want [0, %d)", next, n)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"lotustc/internal/engine"
 	"lotustc/internal/graph"
+	"lotustc/internal/obs"
 )
 
 // Graph is the CSX graph type. Build one with FromEdges, a generator,
@@ -75,6 +76,18 @@ const (
 	// AlgoForwardDegeneracy orients by k-core peeling order,
 	// bounding every forward list by the graph's degeneracy.
 	AlgoForwardDegeneracy Algorithm = "forward-degeneracy"
+	// AlgoCoverEdge counts by BFS-level cover edges (Bader et al.):
+	// no hub structures, strongest on sparse flat graphs (meshes,
+	// road networks) where LOTUS's relabeling buys nothing.
+	AlgoCoverEdge Algorithm = "cover-edge"
+	// AlgoDegreePartition is the degree-partitioned LOTUS variant
+	// (Kolountzakis-style classes on the shard grid); totals and
+	// classes match AlgoLotus exactly.
+	AlgoDegreePartition Algorithm = "degree-partition"
+	// AlgoAuto probes the graph's structure (degree skew, hub edge
+	// coverage, H2H density) and routes to the algorithm the shape
+	// favors; the choice lands in Result.Decision.
+	AlgoAuto Algorithm = "auto"
 )
 
 // Algorithms lists every available algorithm, in the engine's
@@ -119,6 +132,10 @@ type Options struct {
 	// (0 = the default 2; 1 = a single block). Other algorithms
 	// ignore it.
 	Shards int
+	// TuneAlgorithm pins the algorithm AlgoAuto routes to, for
+	// ablation (e.g. AlgoLotus to measure what the tuner saved).
+	// Other algorithms ignore it.
+	TuneAlgorithm Algorithm
 	// Timeout bounds the whole count (0 = none). On expiry the count
 	// aborts cooperatively and Count returns
 	// context.DeadlineExceeded.
@@ -154,7 +171,14 @@ type Result struct {
 	// counter names ("phase1.steals", "lotus.h2h_bits", ...); the full
 	// catalogue is documented in DESIGN.md.
 	Metrics map[string]int64
+	// Decision is the structural auto-tuner's routing record — the
+	// chosen algorithm, the policy reason, and every probe stat the
+	// decision read. Populated by AlgoAuto only.
+	Decision *TuneDecision
 }
+
+// TuneDecision is the auto-tuner's routing record (see AlgoAuto).
+type TuneDecision = obs.TuneDecision
 
 // HubTriangles returns triangles containing at least one hub
 // (meaningful for the LOTUS algorithms).
@@ -196,6 +220,7 @@ func CountContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 			HNNBlocks:          opt.HNNBlocks,
 			WorkStealing:       opt.WorkStealing,
 			Shards:             opt.Shards,
+			TuneAlgorithm:      string(opt.TuneAlgorithm),
 		},
 	})
 	if err != nil {
@@ -216,5 +241,6 @@ func CountContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 		NNN:            rep.NNN,
 		RecursionDepth: rep.RecursionDepth,
 		Metrics:        rep.Metrics,
+		Decision:       rep.Decision,
 	}, nil
 }
